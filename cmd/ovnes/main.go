@@ -1,0 +1,106 @@
+// Command ovnes runs the full hierarchical control plane of Fig. 2 as real
+// network services on localhost: the three domain controllers (RAN,
+// transport, cloud) fronting an emulated data plane, the UDP monitoring
+// collector, and the E2E orchestrator on top. Pair it with cmd/slicemgr
+// for the tenant-facing web API.
+//
+// Usage:
+//
+//	ovnes [-listen 127.0.0.1:8080] [-collector 127.0.0.1:6343] \
+//	      [-topology testbed|romanian|swiss|italian] [-nbs 4] [-algo direct]
+//
+// Endpoints (orchestrator): POST /requests, POST /epoch, GET /slices,
+// GET /epoch. The controllers listen on consecutive ports after -listen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+
+	"repro/internal/ctrlplane"
+	"repro/internal/dataplane"
+	"repro/internal/monitor"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ovnes: ")
+
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8080", "orchestrator address; controllers bind the next three ports")
+		collector = flag.String("collector", "127.0.0.1:6343", "UDP monitoring collector address")
+		topoName  = flag.String("topology", "testbed", "testbed | romanian | swiss | italian")
+		nbs       = flag.Int("nbs", 4, "BS count for operator topologies (0 = full size)")
+		algo      = flag.String("algo", "direct", "direct | benders | kac | no-overbooking")
+	)
+	flag.Parse()
+
+	net_, err := buildTopo(*topoName, *nbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp := dataplane.NewEmulator(net_)
+	store := monitor.NewStore(0)
+
+	col, err := monitor.NewCollector(*collector, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer col.Close()
+	log.Printf("monitoring collector on udp://%s", col.Addr())
+
+	host, portStr, err := net.SplitHostPort(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrOf := func(off int) string { return net.JoinHostPort(host, strconv.Itoa(port+off)) }
+
+	serve := func(addr, name string, h http.Handler) {
+		go func() {
+			log.Printf("%s on http://%s", name, addr)
+			if err := http.ListenAndServe(addr, h); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}()
+	}
+	serve(addrOf(1), "RAN controller", ctrlplane.NewRANController(dp).Handler())
+	serve(addrOf(2), "transport controller", ctrlplane.NewTransportController(dp).Handler())
+	serve(addrOf(3), "cloud controller", ctrlplane.NewCloudController(dp).Handler())
+
+	orch, err := ctrlplane.NewOrchestrator(ctrlplane.OrchestratorConfig{
+		Net:           net_,
+		Algorithm:     *algo,
+		Store:         store,
+		RANAddr:       "http://" + addrOf(1),
+		TransportAddr: "http://" + addrOf(2),
+		CloudAddr:     "http://" + addrOf(3),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("E2E orchestrator (%s, %s) on http://%s", net_.Name, *algo, *listen)
+	log.Fatal(http.ListenAndServe(*listen, orch.Handler()))
+}
+
+func buildTopo(name string, nbs int) (*topology.Network, error) {
+	switch name {
+	case "testbed":
+		return topology.Testbed(), nil
+	case "romanian":
+		return topology.Romanian(nbs), nil
+	case "swiss":
+		return topology.Swiss(nbs), nil
+	case "italian":
+		return topology.Italian(nbs), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}

@@ -1,0 +1,117 @@
+// Command simctl regenerates the paper's simulation artifacts (Table 1,
+// Fig. 4, Fig. 5, Fig. 6 and the ablations) from the command line.
+//
+// Usage:
+//
+//	simctl -experiment fig5 [-nbs 4] [-tenants 10] [-epochs 16] [-algo direct]
+//	simctl -experiment fig4 -full        # full 198/197/200-BS topologies
+//	simctl -experiment all               # everything, CI-sized
+//
+// Output is tab-separated, one block per figure panel, suitable for
+// gnuplot or a spreadsheet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simctl: ")
+
+	var (
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | sla | scaling | forecast | all")
+		nbs        = flag.Int("nbs", 4, "BS count for scaled operator topologies")
+		tenants    = flag.Int("tenants", 8, "slice requests per scenario")
+		epochs     = flag.Int("epochs", 16, "decision epochs per run")
+		algoName   = flag.String("algo", "direct", "overbooking solver: direct | benders | kac")
+		full       = flag.Bool("full", false, "use the full published topology sizes (fig4; fig5/fig6 switch to the KAC solver)")
+		seed       = flag.Int64("seed", 42, "base RNG seed")
+	)
+	flag.Parse()
+
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale := *nbs
+	if *full {
+		scale = 0 // generators interpret 0 as the published size
+		if algo == sim.Direct || algo == sim.Benders {
+			// The exact solvers are not tractable at 198 BSs — the paper
+			// itself reports hours of CPLEX time there; use the heuristic.
+			algo = sim.KAC
+			log.Print("full-scale run: switching solver to KAC")
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			experiments.PrintTable1(os.Stdout)
+		case "fig4":
+			experiments.PrintFig4(os.Stdout, experiments.Fig4(scale, 8, 21))
+		case "fig5":
+			pts, err := experiments.Fig5(experiments.Fig5Config{
+				NBS: scale, Tenants: *tenants, Epochs: *epochs,
+				Algorithm: algo, Seed: *seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.PrintFig5(os.Stdout, pts)
+		case "fig6":
+			pts, err := experiments.Fig6(experiments.Fig6Config{
+				NBS: scale, Tenants: *tenants, Epochs: *epochs,
+				Algorithm: algo, Seed: *seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.PrintFig6(os.Stdout, pts)
+		case "sla":
+			rows, err := experiments.SLAViolationStudy(*nbs, *tenants, 2**epochs, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.PrintSLAStudy(os.Stdout, rows)
+		case "scaling":
+			rows, err := experiments.SolverScaling(nil, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.PrintSolverScaling(os.Stdout, rows)
+		case "forecast":
+			experiments.PrintForecastAblation(os.Stdout, experiments.ForecastAblation(24, 20, 5, *seed))
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "sla", "scaling", "forecast"} {
+			fmt.Println()
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func parseAlgo(s string) (sim.Algorithm, error) {
+	switch s {
+	case "direct":
+		return sim.Direct, nil
+	case "benders":
+		return sim.Benders, nil
+	case "kac":
+		return sim.KAC, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want direct, benders or kac)", s)
+}

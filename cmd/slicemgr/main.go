@@ -1,0 +1,36 @@
+// Command slicemgr runs the tenant-facing slice manager web app (§2.2.1):
+// it validates slice requests, renders TOSCA-like NS descriptors and
+// forwards them to a running ovnes orchestrator.
+//
+// Usage:
+//
+//	slicemgr [-listen 127.0.0.1:8090] [-orchestrator http://127.0.0.1:8080]
+//
+// Then submit a request:
+//
+//	curl -X POST http://127.0.0.1:8090/requests -d \
+//	  '{"name":"urllc1","type":"uRLLC","duration_epochs":12,"penalty_factor":1}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/ctrlplane"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slicemgr: ")
+
+	var (
+		listen = flag.String("listen", "127.0.0.1:8090", "listen address")
+		orch   = flag.String("orchestrator", "http://127.0.0.1:8080", "ovnes base URL")
+	)
+	flag.Parse()
+
+	mgr := ctrlplane.NewSliceManager(*orch)
+	log.Printf("slice manager on http://%s (orchestrator %s)", *listen, *orch)
+	log.Fatal(http.ListenAndServe(*listen, mgr.Handler()))
+}

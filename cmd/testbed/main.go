@@ -1,0 +1,52 @@
+// Command testbed regenerates the paper's §5 proof-of-concept experiment
+// (Fig. 8): nine heterogeneous slice requests arriving every two epochs on
+// the emulated 2-BS / 2-CU testbed, run once with overbooking ("our
+// approach") and once with the no-overbooking baseline.
+//
+// Usage:
+//
+//	testbed [-epochs 18] [-algo direct] [-seed 7]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("testbed: ")
+
+	var (
+		epochs   = flag.Int("epochs", 18, "decision epochs (hours of the emulated day)")
+		algoName = flag.String("algo", "direct", "overbooking solver: direct | benders | kac")
+		seed     = flag.Int64("seed", 7, "traffic RNG seed")
+	)
+	flag.Parse()
+
+	var algo sim.Algorithm
+	switch *algoName {
+	case "direct":
+		algo = sim.Direct
+	case "benders":
+		algo = sim.Benders
+	case "kac":
+		algo = sim.KAC
+	default:
+		log.Fatalf("unknown algorithm %q", *algoName)
+	}
+
+	ours, err := experiments.Fig8(experiments.Fig8Config{Algorithm: algo, Epochs: *epochs, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := experiments.Fig8(experiments.Fig8Config{Algorithm: sim.NoOverbooking, Epochs: *epochs, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintFig8(os.Stdout, ours, baseline)
+}

@@ -1,0 +1,44 @@
+// Heterogeneous mix: the Fig. 6 experiment in miniature. A fixed pool of
+// requests mixes eMBB with compute-hungry mMTC slices; sweeping the mix
+// fraction β shows where the edge cloud becomes the bottleneck and how
+// overbooking shifts that point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	pts, err := experiments.Fig6(experiments.Fig6Config{
+		Topologies: []string{"Romanian"},
+		Mixes:      [][2]string{{"eMBB", "mMTC"}},
+		Betas:      []float64{0, 25, 50, 75, 100},
+		Tenants:    6,
+		NBS:        3,
+		Epochs:     10,
+		KPaths:     1,
+		Algorithm:  sim.Direct,
+		Seed:       3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("eMBB/mMTC mix on the scaled Romanian topology (λ̄ = 0.2Λ)")
+	fmt.Println("β(mMTC%)  no-overbooking  overbooking  gain")
+	for _, p := range pts {
+		gain := "-"
+		if p.BaselineRevenue > 0 {
+			gain = fmt.Sprintf("+%.0f%%", 100*(p.Revenue-p.BaselineRevenue)/p.BaselineRevenue)
+		}
+		fmt.Printf("%7.0f %15.2f %12.2f  %s\n", p.Beta, p.BaselineRevenue, p.Revenue, gain)
+	}
+	fmt.Println("\nReading Fig. 6's story: mMTC pays 3x eMBB's reward but eats 20 CPU")
+	fmt.Println("cores per BS at full load, so revenue climbs with β until the edge")
+	fmt.Println("cloud saturates; overbooking keeps admitting because measured mMTC")
+	fmt.Println("demand is far below the SLA.")
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// slaveProblem is the continuous subproblem P_S(x̄) of §4.1 (Problem 3):
+// given fixed admission/placement decisions x̄, optimize the reservations
+// (y, z). Every row's right-hand side is affine in x̄, which makes both
+// Benders cut families mechanical:
+//
+//	optimality cut (21):  θ ≥ Σᵢ µᵢ·r0ᵢ + Σⱼ (µᵀR)ⱼ·xⱼ   (dual extreme point µ)
+//	feasibility cut (22): Σⱼ (fᵀR)ⱼ·xⱼ ≤ −fᵀr0            (dual extreme ray f)
+//
+// where µ comes out of the LP solver's dual values and f out of its Farkas
+// certificate (the "PDS(x) is unbounded" branch of Algorithm 1).
+type slaveProblem struct {
+	m          *model
+	p          *lp.Problem
+	yVar       []int
+	zVar       []int
+	dR, dT, dC int
+	rows       []slaveRow // parallel to p's rows
+}
+
+// buildSlave assembles the slave LP skeleton once; per-iteration solves
+// only rewrite the right-hand sides for the current x̄.
+func (m *model) buildSlave() *slaveProblem {
+	s := &slaveProblem{
+		m:    m,
+		p:    lp.New(),
+		yVar: make([]int, len(m.items)),
+		zVar: make([]int, len(m.items)),
+		dR:   -1, dT: -1, dC: -1,
+	}
+	for idx, it := range m.items {
+		s.yVar[idx] = s.p.AddVar(fmt.Sprintf("y.%d", idx), it.yCoef)
+		s.zVar[idx] = s.p.AddVar(fmt.Sprintf("z.%d", idx), it.zCoef)
+	}
+	if m.inst.BigM > 0 {
+		s.dR = s.p.AddVar("deficit.radio", m.inst.BigM)
+		s.dT = s.p.AddVar("deficit.transport", m.inst.BigM)
+		s.dC = s.p.AddVar("deficit.compute", m.inst.BigM)
+	}
+
+	inst := m.inst
+	addRow := func(sense lp.Sense, r0 float64, xs []lp.Term, terms ...lp.Term) {
+		s.p.AddConstraint(sense, r0, terms...)
+		s.rows = append(s.rows, slaveRow{sense: sense, r0: r0, xs: xs})
+	}
+
+	// (2)/(14) CU compute: Σ bτ·z − δc ≤ Cc − Σ aτ·xⱼ.
+	for c, cu := range inst.Net.CUs {
+		var terms []lp.Term
+		var xs []lp.Term
+		for idx, it := range m.items {
+			if it.cu != c {
+				continue
+			}
+			cm := inst.Tenants[it.tenant].SLA.Compute
+			if cm.CPUPerMbps != 0 {
+				terms = append(terms, lp.T(s.zVar[idx], cm.CPUPerMbps))
+			}
+			if cm.BaselineCPU != 0 {
+				xs = append(xs, lp.T(idx, -cm.BaselineCPU))
+			}
+		}
+		if len(terms) == 0 && len(xs) == 0 {
+			continue
+		}
+		if s.dC >= 0 {
+			terms = append(terms, lp.T(s.dC, -1))
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		addRow(lp.LE, cu.CPUCores, xs, terms...)
+	}
+	// (3)/(15) transport.
+	for _, l := range inst.Net.Links {
+		if l.CapMbps >= unlimitedLinkMbps {
+			continue
+		}
+		var terms []lp.Term
+		for idx, it := range m.items {
+			if inst.Paths[it.bs][it.cu][it.path].Uses(l.ID) {
+				terms = append(terms, lp.T(s.zVar[idx], inst.EtaTransport))
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		if s.dT >= 0 {
+			terms = append(terms, lp.T(s.dT, -1))
+		}
+		addRow(lp.LE, l.CapMbps, nil, terms...)
+	}
+	// (4)/(16) radio.
+	for b, bs := range inst.Net.BSs {
+		var terms []lp.Term
+		for idx, it := range m.items {
+			if it.bs == b {
+				terms = append(terms, lp.T(s.zVar[idx], bs.Eta))
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		if s.dR >= 0 {
+			terms = append(terms, lp.T(s.dR, -1))
+		}
+		addRow(lp.LE, bs.CapMHz, nil, terms...)
+	}
+	// Coupling rows (17)–(20) plus linearization (11): one block per item.
+	for idx, it := range m.items {
+		y, z := s.yVar[idx], s.zVar[idx]
+		addRow(lp.LE, 0, []lp.Term{lp.T(idx, it.lambda)}, lp.T(z, 1))      // (17) z ≤ Λx̄
+		addRow(lp.LE, 0, []lp.Term{lp.T(idx, -it.lambdaHat)}, lp.T(z, -1)) // (18) λ̂x̄ ≤ z
+		addRow(lp.LE, 0, []lp.Term{lp.T(idx, it.lambda)}, lp.T(y, 1))      // (19) y ≤ Λx̄
+		addRow(lp.LE, 0, nil, lp.T(y, 1), lp.T(z, -1))                     // (11) y ≤ z
+		addRow(lp.LE, it.lambda, []lp.Term{lp.T(idx, -it.lambda)},         // (20)
+			lp.T(z, 1), lp.T(y, -1))
+	}
+	return s
+}
+
+// setX rewrites every affine right-hand side for the given binary vector.
+func (s *slaveProblem) setX(x []float64) {
+	for i, r := range s.rows {
+		rhs := r.r0
+		for _, t := range r.xs {
+			rhs += t.Coef * x[t.Var]
+		}
+		s.p.SetRHS(i, rhs)
+	}
+}
+
+// cutFromDuals folds a dual vector (point or ray) into per-x coefficients
+// and a constant: value(x) = constant + Σ coefs[j]·x[j].
+func (s *slaveProblem) cutFromDuals(mu []float64) (constant float64, coefs []float64) {
+	coefs = make([]float64, len(s.m.items))
+	for i, r := range s.rows {
+		if mu[i] == 0 {
+			continue
+		}
+		constant += mu[i] * r.r0
+		for _, t := range r.xs {
+			coefs[t.Var] += mu[i] * t.Coef
+		}
+	}
+	return constant, coefs
+}
+
+// BendersOptions tune Algorithm 1.
+type BendersOptions struct {
+	// Epsilon is the UB−LB convergence tolerance; 0 means 1e-6.
+	Epsilon float64
+	// MaxIterations bounds master-slave rounds; 0 means 200.
+	MaxIterations int
+}
+
+func (o BendersOptions) withDefaults() BendersOptions {
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-6
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 200
+	}
+	return o
+}
+
+// SolveBenders runs the paper's Algorithm 1: iterate between the binary
+// master problem P_M(C1, C2) (Problem 5) and the continuous slave P_S(x̄)
+// (Problem 3), adding an optimality cut per dual extreme point and a
+// feasibility cut per dual extreme ray, until the bound gap closes.
+func SolveBenders(inst *Instance, opts BendersOptions) (*Decision, error) {
+	opts = opts.withDefaults()
+	m, err := buildModel(inst)
+	if err != nil {
+		return nil, err
+	}
+	slave := m.buildSlave()
+
+	// θ is a free surrogate for the slave cost, but LP variables are
+	// non-negative; shift by a valid lower bound on the slave objective:
+	// Σ min(yCoef,0)·Λ minus nothing (deficits only add cost).
+	bigTheta := 1.0
+	for _, it := range m.items {
+		if it.yCoef < 0 {
+			bigTheta += -it.yCoef * it.lambda
+		}
+	}
+
+	// Master skeleton: min Σ xCoef·x + θ subject to (5), (6), (13).
+	master := lp.New()
+	xVar := make([]int, len(m.items))
+	for idx, it := range m.items {
+		xVar[idx] = master.AddVar(fmt.Sprintf("x.%d", idx), it.xCoef)
+	}
+	thetaVar := master.AddVar("theta.shifted", 1) // θ = θ' − bigTheta
+	addPlacementRows(master, m, func(idx int) int { return xVar[idx] })
+
+	d := m.newDecision()
+	ub := math.Inf(1)
+	var bestX, bestZ []float64
+	var bestPsi float64
+	var bestDef [3]float64
+
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		d.Iterations = iter
+
+		msol, err := milpSolve(master, xVar)
+		if err != nil {
+			return nil, err
+		}
+		if msol == nil {
+			return nil, fmt.Errorf("core: Benders master infeasible (committed slices unsatisfiable)")
+		}
+		lb := msol.Obj - bigTheta // undo the θ shift
+		xBar := make([]float64, len(m.items))
+		for idx := range m.items {
+			xBar[idx] = clampUnit(msol.X[xVar[idx]])
+		}
+
+		slave.setX(xBar)
+		ssol, err := slave.p.Solve()
+		if err != nil {
+			return nil, err
+		}
+		switch ssol.Status {
+		case lp.Optimal:
+			// Line 10–13 of Algorithm 1: optimality cut and UB update.
+			xCost := 0.0
+			for idx, it := range m.items {
+				xCost += it.xCoef * xBar[idx]
+			}
+			gamma := xCost + ssol.Obj
+			if gamma < ub-1e-12 {
+				ub = gamma
+				bestX = append([]float64(nil), xBar...)
+				bestZ = make([]float64, len(m.items))
+				bestPsi = xCost
+				for idx := range m.items {
+					bestZ[idx] = ssol.X[slave.zVar[idx]]
+					bestPsi += m.items[idx].yCoef * ssol.X[slave.yVar[idx]]
+				}
+				if slave.dR >= 0 {
+					bestDef = [3]float64{ssol.X[slave.dR], ssol.X[slave.dT], ssol.X[slave.dC]}
+				}
+			}
+			if ub-lb <= opts.Epsilon*(1+math.Abs(ub)) {
+				m.fill(d, bestX, bestZ)
+				d.Obj = bestPsi
+				d.DeficitRadio, d.DeficitTransport, d.DeficitCompute = bestDef[0], bestDef[1], bestDef[2]
+				return d, nil
+			}
+			constant, coefs := slave.cutFromDuals(ssol.Dual)
+			// θ ≥ constant + coefs·x  ⇒  θ' − coefs·x ≥ constant + bigTheta.
+			terms := []lp.Term{lp.T(thetaVar, 1)}
+			for idx, cf := range coefs {
+				if cf != 0 {
+					terms = append(terms, lp.T(xVar[idx], -cf))
+				}
+			}
+			master.AddNamedConstraint(fmt.Sprintf("optcut.%d", iter), lp.GE, constant+bigTheta, terms...)
+
+		case lp.Infeasible:
+			// Line 6–8: the dual slave is unbounded along the Farkas ray;
+			// add a feasibility cut removing this x̄.
+			constant, coefs := slave.cutFromDuals(ssol.Ray)
+			// Infeasibility certificate: constant + coefs·x̄ > 0, so demand
+			// constant + coefs·x ≤ 0, i.e. Σ coefs·x ≤ −constant.
+			var terms []lp.Term
+			for idx, cf := range coefs {
+				if cf != 0 {
+					terms = append(terms, lp.T(xVar[idx], cf))
+				}
+			}
+			if len(terms) == 0 {
+				return nil, fmt.Errorf("core: degenerate feasibility cut (ray has no x terms)")
+			}
+			master.AddNamedConstraint(fmt.Sprintf("feascut.%d", iter), lp.LE, -constant, terms...)
+
+		default:
+			return nil, fmt.Errorf("core: slave LP returned %v", ssol.Status)
+		}
+	}
+
+	if bestX == nil {
+		return nil, fmt.Errorf("core: Benders did not find a feasible point in %d iterations", opts.MaxIterations)
+	}
+	// Iteration budget exhausted: return the incumbent (still feasible,
+	// possibly suboptimal).
+	m.fill(d, bestX, bestZ)
+	d.Obj = bestPsi
+	d.DeficitRadio, d.DeficitTransport, d.DeficitCompute = bestDef[0], bestDef[1], bestDef[2]
+	return d, nil
+}

@@ -1,0 +1,173 @@
+package ctrlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/dataplane"
+)
+
+// The domain controllers are stateless HTTP façades over the data plane
+// (§2.2.3): every bit of slice state lives in the orchestrator, so a
+// controller can be restarted at will — the paper's consistency argument.
+
+// writeJSON is the single response helper all services share.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response
+}
+
+// httpError reports an error as {"error": "..."} with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeBody parses a JSON request body into v.
+func decodeBody(r *http.Request, v interface{}) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("ctrlplane: bad request body: %w", err)
+	}
+	return nil
+}
+
+// RANController translates radio share configs into per-BS scheduler
+// programming (the paper's proprietary small-cell interface).
+type RANController struct {
+	dp *dataplane.Emulator
+}
+
+// NewRANController wraps the data plane.
+func NewRANController(dp *dataplane.Emulator) *RANController { return &RANController{dp: dp} }
+
+// Handler exposes the controller's REST surface.
+func (c *RANController) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /shares", func(w http.ResponseWriter, r *http.Request) {
+		var cfg RadioConfig
+		if err := decodeBody(r, &cfg); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(cfg.ShareMHz) != len(c.dp.Radios) {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("ctrlplane: %d shares for %d BSs", len(cfg.ShareMHz), len(c.dp.Radios)))
+			return
+		}
+		applied := make([]int, 0, len(cfg.ShareMHz))
+		for b, mhz := range cfg.ShareMHz {
+			if err := c.dp.Radios[b].SetShare(cfg.Slice, mhz); err != nil {
+				for _, bb := range applied {
+					c.dp.Radios[bb].SetShare(cfg.Slice, 0) //nolint:errcheck // rollback
+				}
+				httpError(w, http.StatusConflict, err)
+				return
+			}
+			applied = append(applied, b)
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "programmed"})
+	})
+	mux.HandleFunc("DELETE /shares/{slice}", func(w http.ResponseWriter, r *http.Request) {
+		sl := r.PathValue("slice")
+		for _, rs := range c.dp.Radios {
+			rs.SetShare(sl, 0) //nolint:errcheck // removal never fails
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+	})
+	return mux
+}
+
+// TransportController translates flow configs into fabric rules — the role
+// Floodlight plays in the paper, driven by OpenFlow instructions.
+type TransportController struct {
+	dp *dataplane.Emulator
+}
+
+// NewTransportController wraps the data plane.
+func NewTransportController(dp *dataplane.Emulator) *TransportController {
+	return &TransportController{dp: dp}
+}
+
+// Handler exposes the controller's REST surface.
+func (c *TransportController) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /flows", func(w http.ResponseWriter, r *http.Request) {
+		var cfg FlowConfig
+		if err := decodeBody(r, &cfg); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		rules := make([]dataplane.FlowRule, len(cfg.Rules))
+		for i, fs := range cfg.Rules {
+			rules[i] = dataplane.FlowRule{Slice: cfg.Slice, LinkIDs: fs.LinkIDs, RateMbps: fs.RateMbps}
+		}
+		if err := c.dp.Fabric.Install(cfg.Slice, rules); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "programmed"})
+	})
+	mux.HandleFunc("DELETE /flows/{slice}", func(w http.ResponseWriter, r *http.Request) {
+		c.dp.Fabric.Remove(r.PathValue("slice"))
+		writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+	})
+	return mux
+}
+
+// CloudController translates stack configs into CU deployments — the Heat
+// template + Keystone + CPU-pinning path of §2.2.3.
+type CloudController struct {
+	dp *dataplane.Emulator
+}
+
+// NewCloudController wraps the data plane.
+func NewCloudController(dp *dataplane.Emulator) *CloudController { return &CloudController{dp: dp} }
+
+// Handler exposes the controller's REST surface.
+func (c *CloudController) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /stacks", func(w http.ResponseWriter, r *http.Request) {
+		var cfg StackConfig
+		if err := decodeBody(r, &cfg); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if cfg.CU < 0 || cfg.CU >= len(c.dp.CUs) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("ctrlplane: no CU %d", cfg.CU))
+			return
+		}
+		// CPU pinning: the pin covers the stack's worst case at the
+		// reserved bitrate (§2.2.3).
+		st := dataplane.Stack{
+			Slice:       cfg.Slice,
+			PinnedCores: cfg.BaselineCPU + cfg.CPUPerMbps*cfg.TotalMbps,
+			BaselineCPU: cfg.BaselineCPU,
+			CPUPerMbps:  cfg.CPUPerMbps,
+		}
+		// A slice migrating between CUs must not leave a stale stack; the
+		// orchestrator pins CUs for a slice's lifetime, but remove
+		// defensively from every other CU first.
+		for i, cu := range c.dp.CUs {
+			if i != cfg.CU {
+				cu.Destroy(cfg.Slice)
+			}
+		}
+		if err := c.dp.CUs[cfg.CU].Deploy(st); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deployed"})
+	})
+	mux.HandleFunc("DELETE /stacks/{slice}", func(w http.ResponseWriter, r *http.Request) {
+		sl := r.PathValue("slice")
+		for _, cu := range c.dp.CUs {
+			cu.Destroy(sl)
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "destroyed"})
+	})
+	return mux
+}

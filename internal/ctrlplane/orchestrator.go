@@ -1,0 +1,384 @@
+package ctrlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/monitor"
+	"repro/internal/slice"
+	"repro/internal/topology"
+)
+
+// OrchestratorConfig wires the E2E orchestrator to its domain controllers
+// and monitoring backend.
+type OrchestratorConfig struct {
+	Net       *topology.Network
+	KPaths    int    // k-shortest paths per (BS, CU); default 3
+	Algorithm string // "direct" | "benders" | "kac" | "no-overbooking"
+	HWPeriod  int    // Holt-Winters period in epochs; default 12
+
+	// Controller base URLs (e.g. "http://127.0.0.1:8181").
+	RANAddr, TransportAddr, CloudAddr string
+
+	// Store is the monitoring backend the collector writes into.
+	Store *monitor.Store
+}
+
+// orchSlice is the orchestrator's lifecycle state for one slice.
+type orchSlice struct {
+	req       SliceRequest
+	tmpl      slice.Template
+	sla       slice.SLA
+	state     string // "pending" | "active" | "rejected" | "expired"
+	cu        int
+	reserved  []float64
+	remaining int
+	fc        forecast.Forecaster
+	arrival   int
+}
+
+// Orchestrator is the paper's OVNES: admission control, resource
+// reservation, monitoring aggregation and forecasting behind one REST API.
+// It is deliberately the only stateful control-plane entity.
+type Orchestrator struct {
+	cfg    OrchestratorConfig
+	paths  [][][]topology.Path
+	client *http.Client
+
+	mu     sync.Mutex
+	epoch  int
+	slices map[string]*orchSlice
+	order  []string // insertion order, for deterministic decisions
+}
+
+// NewOrchestrator builds the orchestrator; it precomputes the P_{b,c} path
+// sets offline exactly as §2.1.2 prescribes.
+func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("ctrlplane: orchestrator needs a topology")
+	}
+	if cfg.KPaths == 0 {
+		cfg.KPaths = 3
+	}
+	if cfg.HWPeriod == 0 {
+		cfg.HWPeriod = 12
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "direct"
+	}
+	return &Orchestrator{
+		cfg:    cfg,
+		paths:  cfg.Net.Paths(cfg.KPaths),
+		client: &http.Client{Timeout: 10 * time.Second},
+		slices: map[string]*orchSlice{},
+	}, nil
+}
+
+// Handler exposes the orchestrator's REST surface (SMan-Or northbound).
+func (o *Orchestrator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /requests", func(w http.ResponseWriter, r *http.Request) {
+		var nsd NSDescriptor
+		if err := decodeBody(r, &nsd); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := o.Register(nsd.Request); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "pending"})
+	})
+	mux.HandleFunc("POST /epoch", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := o.RunEpoch()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	mux.HandleFunc("GET /slices", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, o.Statuses())
+	})
+	mux.HandleFunc("GET /epoch", func(w http.ResponseWriter, r *http.Request) {
+		o.mu.Lock()
+		e := o.epoch
+		o.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]int{"epoch": e})
+	})
+	return mux
+}
+
+// Register adds a tenant request in "pending" state.
+func (o *Orchestrator) Register(req SliceRequest) error {
+	tmpl, err := req.Template()
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.slices[req.Name]; dup {
+		return fmt.Errorf("ctrlplane: slice %q already exists", req.Name)
+	}
+	if req.DurationEpochs <= 0 {
+		return fmt.Errorf("ctrlplane: slice %q needs a positive duration", req.Name)
+	}
+	m := req.PenaltyFactor
+	if m <= 0 {
+		m = 1
+	}
+	sla := slice.SLA{Template: tmpl, Duration: req.DurationEpochs}.WithPenaltyFactor(m)
+	o.slices[req.Name] = &orchSlice{
+		req: req, tmpl: tmpl, sla: sla,
+		state:     "pending",
+		remaining: req.DurationEpochs,
+		fc:        forecast.NewAdaptive(0.5, 0.05, 0.15, o.cfg.HWPeriod),
+		arrival:   o.epoch,
+	}
+	o.order = append(o.order, req.Name)
+	return nil
+}
+
+// Statuses lists all known slices in registration order.
+func (o *Orchestrator) Statuses() []SliceStatus {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]SliceStatus, 0, len(o.order))
+	for _, name := range o.order {
+		s := o.slices[name]
+		out = append(out, SliceStatus{
+			Name: name, Type: s.tmpl.Type.String(), State: s.state,
+			CU: s.cu, Reserved: append([]float64(nil), s.reserved...),
+			Remaining: s.remaining,
+		})
+	}
+	return out
+}
+
+// RunEpoch executes one decision round: aggregate monitoring, forecast,
+// solve AC-RR, program the controllers, and advance slice lifecycles.
+func (o *Orchestrator) RunEpoch() (*EpochReport, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	// 1. Monitoring feedback: feed each active slice's forecaster with the
+	// previous epoch's measured peak (max over κ samples and BSs).
+	if o.cfg.Store != nil && o.epoch > 0 {
+		for _, name := range o.order {
+			s := o.slices[name]
+			if s.state != "active" {
+				continue
+			}
+			if peak, ok := o.cfg.Store.EpochPeak(name, "load_mbps", o.epoch-1); ok {
+				s.fc.Observe(peak)
+			}
+		}
+	}
+
+	// 2. Build the AC-RR instance: committed actives plus pendings.
+	var specs []core.TenantSpec
+	var names []string
+	for _, name := range o.order {
+		s := o.slices[name]
+		if s.state != "active" && s.state != "pending" {
+			continue
+		}
+		lamHat, sigma := s.sla.RateMbps, 1.0
+		if s.state == "active" {
+			if u := s.fc.Uncertainty(); u < 1 {
+				sigma = u
+				// The bare peak forecast, as the paper reserves (§5).
+				lamHat = math.Min(s.fc.Forecast(1)[0], s.sla.RateMbps)
+			}
+		}
+		specs = append(specs, core.TenantSpec{
+			Name: name, SLA: s.sla,
+			LambdaHat: lamHat, Sigma: sigma,
+			RemainingEpochs: s.remaining,
+			Committed:       s.state == "active",
+			CommittedCU:     s.cu,
+		})
+		names = append(names, name)
+	}
+
+	inst := &core.Instance{
+		Net: o.cfg.Net, Paths: o.paths, Tenants: specs,
+		Overbook: o.cfg.Algorithm != "no-overbooking", BigM: 1e4,
+	}
+	dec, err := o.solve(inst)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &EpochReport{Epoch: o.epoch, NetRevenue: dec.Revenue(),
+		DeficitCost: 1e4 * (dec.DeficitRadio + dec.DeficitTransport + dec.DeficitCompute)}
+
+	// 3. Program the data plane: shrinking slices first so the controllers'
+	// admission checks see freed capacity before grows arrive.
+	type progItem struct {
+		name  string
+		ti    int
+		delta float64
+	}
+	var prog []progItem
+	for ti, name := range names {
+		s := o.slices[name]
+		if !dec.Accepted[ti] {
+			if s.state == "pending" {
+				s.state = "rejected"
+				rep.Rejected = append(rep.Rejected, name)
+			}
+			continue
+		}
+		newTotal := 0.0
+		for _, z := range dec.Z[ti] {
+			newTotal += z
+		}
+		oldTotal := 0.0
+		for _, z := range s.reserved {
+			oldTotal += z
+		}
+		prog = append(prog, progItem{name: name, ti: ti, delta: newTotal - oldTotal})
+	}
+	sort.Slice(prog, func(i, j int) bool { return prog[i].delta < prog[j].delta })
+	for _, pi := range prog {
+		s := o.slices[pi.name]
+		if err := o.program(pi.name, s, dec, pi.ti); err != nil {
+			return nil, fmt.Errorf("ctrlplane: programming %s: %w", pi.name, err)
+		}
+		if s.state == "pending" {
+			s.state = "active"
+			s.cu = dec.CU[pi.ti]
+			rep.Accepted = append(rep.Accepted, pi.name)
+		}
+		s.reserved = append([]float64(nil), dec.Z[pi.ti]...)
+	}
+
+	// 4. Lifecycle: tick down, expire and tear down.
+	for _, name := range o.order {
+		s := o.slices[name]
+		if s.state != "active" {
+			continue
+		}
+		s.remaining--
+		if s.remaining <= 0 {
+			s.state = "expired"
+			rep.Expired = append(rep.Expired, name)
+			if err := o.teardown(name); err != nil {
+				return nil, fmt.Errorf("ctrlplane: teardown %s: %w", name, err)
+			}
+		}
+	}
+	o.epoch++
+	rep.Slices = o.statusesLocked()
+	return rep, nil
+}
+
+func (o *Orchestrator) statusesLocked() []SliceStatus {
+	out := make([]SliceStatus, 0, len(o.order))
+	for _, name := range o.order {
+		s := o.slices[name]
+		out = append(out, SliceStatus{
+			Name: name, Type: s.tmpl.Type.String(), State: s.state,
+			CU: s.cu, Reserved: append([]float64(nil), s.reserved...),
+			Remaining: s.remaining,
+		})
+	}
+	return out
+}
+
+// solve dispatches to the configured AC-RR algorithm.
+func (o *Orchestrator) solve(inst *core.Instance) (*core.Decision, error) {
+	switch o.cfg.Algorithm {
+	case "direct", "no-overbooking":
+		return core.SolveDirect(inst)
+	case "benders":
+		return core.SolveBenders(inst, core.BendersOptions{})
+	case "kac":
+		return core.SolveKAC(inst, core.KACOptions{})
+	}
+	return nil, fmt.Errorf("ctrlplane: unknown algorithm %q", o.cfg.Algorithm)
+}
+
+// program pushes one slice's reservation to all three domain controllers
+// over the IFA005-flavoured southbound.
+func (o *Orchestrator) program(name string, s *orchSlice, dec *core.Decision, ti int) error {
+	eta := make([]float64, o.cfg.Net.NumBS())
+	for b, bs := range o.cfg.Net.BSs {
+		eta[b] = bs.Eta
+	}
+	shares := make([]float64, len(dec.Z[ti]))
+	rules := make([]FlowSpec, len(dec.Z[ti]))
+	total := 0.0
+	cu := dec.CU[ti]
+	for b, z := range dec.Z[ti] {
+		shares[b] = z * eta[b]
+		rules[b] = FlowSpec{
+			LinkIDs:  o.paths[b][cu][dec.PathIdx[ti][b]].LinkIDs,
+			RateMbps: z,
+		}
+		total += z
+	}
+	if err := o.post(o.cfg.RANAddr+"/shares", RadioConfig{Slice: name, ShareMHz: shares}); err != nil {
+		return err
+	}
+	if err := o.post(o.cfg.TransportAddr+"/flows", FlowConfig{Slice: name, Rules: rules}); err != nil {
+		return err
+	}
+	return o.post(o.cfg.CloudAddr+"/stacks", StackConfig{
+		Slice: name, CU: cu,
+		BaselineCPU: s.tmpl.Compute.BaselineCPU,
+		CPUPerMbps:  s.tmpl.Compute.CPUPerMbps,
+		TotalMbps:   total,
+	})
+}
+
+// teardown removes a slice from every domain.
+func (o *Orchestrator) teardown(name string) error {
+	for _, url := range []string{
+		o.cfg.RANAddr + "/shares/" + name,
+		o.cfg.TransportAddr + "/flows/" + name,
+		o.cfg.CloudAddr + "/stacks/" + name,
+	} {
+		req, err := http.NewRequest(http.MethodDelete, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := o.client.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("ctrlplane: DELETE %s: %s", url, resp.Status)
+		}
+	}
+	return nil
+}
+
+// post sends a JSON body and fails on any non-2xx answer.
+func (o *Orchestrator) post(url string, body interface{}) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := o.client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck // best effort
+		return fmt.Errorf("ctrlplane: POST %s: %s (%s)", url, resp.Status, e["error"])
+	}
+	return nil
+}

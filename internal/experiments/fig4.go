@@ -1,0 +1,81 @@
+// Package experiments contains one harness per table/figure of the paper's
+// evaluation (§4.3, §5). Each harness returns the numbers behind the
+// artifact and knows how to print them in a gnuplot/CSV-friendly layout;
+// the top-level benchmarks and the cmd/simctl & cmd/testbed binaries are
+// thin wrappers around these functions. The per-experiment index lives in
+// DESIGN.md §3; paper-vs-measured outcomes are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/topology"
+)
+
+// Fig4Row is one operator's path statistics (Fig. 4d/4e plus the §4.3.1
+// path-diversity narrative).
+type Fig4Row struct {
+	Name           string
+	NumBS          int
+	MeanPathsPerBS float64
+	// CapCDF and DelayCDF are (value, fraction) pairs; capacities in Gb/s
+	// and delays in µs to match the paper's axes.
+	CapCDF   [][2]float64
+	DelayCDF [][2]float64
+}
+
+// Fig4 computes the per-path bottleneck-capacity and delay distributions
+// over the three operator topologies. nBS == 0 uses the full published
+// sizes (198/197/200); smaller values generate statistically matched
+// scaled-down instances. k is the path budget per (BS, CU) — the paper
+// enumerates up to 8.
+func Fig4(nBS, k, cdfPoints int) []Fig4Row {
+	if k == 0 {
+		k = 8
+	}
+	if cdfPoints == 0 {
+		cdfPoints = 21
+	}
+	nets := []*topology.Network{
+		topology.Romanian(nBS), topology.Swiss(nBS), topology.Italian(nBS),
+	}
+	rows := make([]Fig4Row, 0, len(nets))
+	for _, n := range nets {
+		st := n.ComputeStats(k)
+		caps := make([]float64, len(st.PathCapsMbps))
+		for i, c := range st.PathCapsMbps {
+			caps[i] = c / 1000 // Gb/s
+		}
+		delays := make([]float64, len(st.PathDelays))
+		for i, d := range st.PathDelays {
+			delays[i] = d * 1e6 // µs
+		}
+		rows = append(rows, Fig4Row{
+			Name:           n.Name,
+			NumBS:          n.NumBS(),
+			MeanPathsPerBS: st.MeanPathsPerBS,
+			CapCDF:         topology.CDF(caps, cdfPoints),
+			DelayCDF:       topology.CDF(delays, cdfPoints),
+		})
+	}
+	return rows
+}
+
+// PrintFig4 renders the distributions as the two CDF panels of Fig. 4.
+func PrintFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "# Fig. 4(d): per-path bottleneck capacity CDF")
+	fmt.Fprintln(w, "# topology\tnBS\tmean_paths\tcap_gbps\tcdf")
+	for _, r := range rows {
+		for _, p := range r.CapCDF {
+			fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\n", r.Name, r.NumBS, r.MeanPathsPerBS, p[0], p[1])
+		}
+	}
+	fmt.Fprintln(w, "# Fig. 4(e): per-path latency CDF")
+	fmt.Fprintln(w, "# topology\tnBS\tmean_paths\tdelay_us\tcdf")
+	for _, r := range rows {
+		for _, p := range r.DelayCDF {
+			fmt.Fprintf(w, "%s\t%d\t%.2f\t%.1f\t%.2f\n", r.Name, r.NumBS, r.MeanPathsPerBS, p[0], p[1])
+		}
+	}
+}

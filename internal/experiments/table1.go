@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/slice"
+)
+
+// Table1Row mirrors one row of the paper's Table 1.
+type Table1Row struct {
+	Type     string
+	Reward   string
+	DelayMs  float64
+	RateMbps float64
+	Sigma    string
+	ComputeA float64
+	ComputeB float64
+}
+
+// Table1 renders the end-to-end slice template table.
+func Table1() []Table1Row {
+	mk := func(t slice.Type, rewardLabel, sigmaLabel string) Table1Row {
+		tm := slice.Table1(t)
+		return Table1Row{
+			Type: t.String(), Reward: rewardLabel,
+			DelayMs: tm.DelayBound * 1e3, RateMbps: tm.RateMbps,
+			Sigma:    sigmaLabel,
+			ComputeA: tm.Compute.BaselineCPU, ComputeB: tm.Compute.CPUPerMbps,
+		}
+	}
+	return []Table1Row{
+		mk(slice.EMBB, "1", "variable"),
+		mk(slice.MMTC, "1 + b", "0"),
+		mk(slice.URLLC, "2 + b", "variable"),
+	}
+}
+
+// PrintTable1 renders the table the way the paper lays it out.
+func PrintTable1(w io.Writer) {
+	fmt.Fprintln(w, "# Table 1: end-to-end network slice templates")
+	fmt.Fprintln(w, "type\tR\tΔ(ms)\tΛ(Mb/s)\tσ(Mb/s)\ts={a,b}(CPUs)")
+	for _, r := range Table1() {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%s\t{%.0f, %.1f}\n",
+			r.Type, r.Reward, r.DelayMs, r.RateMbps, r.Sigma, r.ComputeA, r.ComputeB)
+	}
+}

@@ -1,0 +1,198 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// seasonalSeries builds λ̄·(1 + amp·sin)-shaped traffic with optional noise,
+// the periodicity structure the paper cites as the reason for choosing
+// Holt-Winters (footnote 6, [36]).
+func seasonalSeries(n, period int, mean, amp, noise float64, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		s := mean * (1 + amp*math.Sin(2*math.Pi*float64(i)/float64(period)))
+		out[i] = math.Max(0, s+r.NormFloat64()*noise)
+	}
+	return out
+}
+
+func TestSESConverges(t *testing.T) {
+	s := NewSES(0.5)
+	for i := 0; i < 50; i++ {
+		s.Observe(10)
+	}
+	f := s.Forecast(3)
+	if len(f) != 3 {
+		t.Fatal("wrong horizon length")
+	}
+	for _, v := range f {
+		if math.Abs(v-10) > 1e-9 {
+			t.Errorf("SES on constant series forecast %v, want 10", v)
+		}
+	}
+	if s.Uncertainty() > 1e-3 {
+		t.Errorf("constant series should have tiny uncertainty, got %v", s.Uncertainty())
+	}
+}
+
+func TestDESTracksTrend(t *testing.T) {
+	d := NewDES(0.8, 0.8)
+	for i := 0; i < 60; i++ {
+		d.Observe(5 + 2*float64(i))
+	}
+	f := d.Forecast(2)
+	want1 := 5 + 2*60.0
+	if math.Abs(f[0]-want1) > 0.5 {
+		t.Errorf("DES 1-step = %v, want ≈%v", f[0], want1)
+	}
+	if !(f[1] > f[0]) {
+		t.Error("DES must extrapolate the trend")
+	}
+}
+
+func TestDESNonNegative(t *testing.T) {
+	d := NewDES(0.8, 0.8)
+	for i := 0; i < 30; i++ {
+		d.Observe(math.Max(0, 30-2*float64(i)))
+	}
+	for _, v := range d.Forecast(30) {
+		if v < 0 {
+			t.Fatalf("negative load forecast %v", v)
+		}
+	}
+}
+
+func TestHoltWintersSeasonal(t *testing.T) {
+	const period = 12
+	series := seasonalSeries(20*period, period, 100, 0.5, 0, 1)
+	hw := NewHoltWinters(0.3, 0.05, 0.3, period)
+	for _, v := range series {
+		hw.Observe(v)
+	}
+	// Predict one full season ahead and compare with the ground truth.
+	pred := hw.Forecast(period)
+	truth := make([]float64, period)
+	for i := range truth {
+		k := 20*period + i
+		truth[i] = 100 * (1 + 0.5*math.Sin(2*math.Pi*float64(k)/float64(period)))
+	}
+	if e := RMSE(pred, truth); e > 5 {
+		t.Errorf("HW seasonal RMSE = %v, want < 5 (pred %v truth %v)", e, pred, truth)
+	}
+	if hw.Uncertainty() > 0.2 {
+		t.Errorf("uncertainty on clean seasonal series = %v, want small", hw.Uncertainty())
+	}
+}
+
+// TestHoltWintersBeatsSES is the paper's stated reason for the three-
+// smoothing function: single/double ES cannot track seasonality.
+func TestHoltWintersBeatsSES(t *testing.T) {
+	const period = 12
+	series := seasonalSeries(20*period, period, 100, 0.6, 2, 2)
+	hw := NewHoltWinters(0.3, 0.05, 0.3, period)
+	ses := NewSES(0.3)
+	var hwErr, sesErr float64
+	for i, v := range series {
+		if i > 5*period {
+			hwErr += math.Abs(hw.Forecast(1)[0] - v)
+			sesErr += math.Abs(ses.Forecast(1)[0] - v)
+		}
+		hw.Observe(v)
+		ses.Observe(v)
+	}
+	if hwErr >= sesErr {
+		t.Errorf("HW cumulative error %v not better than SES %v on seasonal traffic", hwErr, sesErr)
+	}
+}
+
+func TestWarmupBehaviour(t *testing.T) {
+	hw := NewHoltWinters(0.3, 0.05, 0.3, 6)
+	if hw.Uncertainty() != 1 {
+		t.Error("cold forecaster must report full uncertainty")
+	}
+	if hw.Forecast(2)[0] != 0 {
+		t.Error("cold forecaster with no data must predict 0")
+	}
+	hw.Observe(42)
+	if hw.Forecast(1)[0] != 42 {
+		t.Error("warming forecaster must echo the last observation")
+	}
+	if hw.Uncertainty() != 1 {
+		t.Error("warming forecaster must still report σ̂ = 1")
+	}
+}
+
+func TestUncertaintyBounds(t *testing.T) {
+	// Wildly erratic series: σ̂ must clamp at 1.
+	r := rand.New(rand.NewSource(3))
+	s := NewSES(0.9)
+	for i := 0; i < 100; i++ {
+		s.Observe(r.Float64() * 1000 * float64(i%7))
+	}
+	u := s.Uncertainty()
+	if u <= 0 || u > 1 {
+		t.Errorf("σ̂ = %v outside (0,1]", u)
+	}
+}
+
+func TestHoltWintersPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHoltWinters(0.3, 0.1, 0.2, 1)
+}
+
+func TestMetrics(t *testing.T) {
+	if !math.IsNaN(RMSE(nil, nil)) || !math.IsNaN(RMSE([]float64{1}, nil)) {
+		t.Error("degenerate RMSE must be NaN")
+	}
+	if got := RMSE([]float64{3, 4}, []float64{0, 0}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if got := MAPE([]float64{11, 22}, []float64{10, 20}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE = %v", got)
+	}
+	if !math.IsNaN(MAPE([]float64{1}, []float64{0})) {
+		t.Error("all-zero actuals MAPE must be NaN")
+	}
+}
+
+// TestQuickUncertaintyInvariant property-checks σ̂ ∈ (0,1] for arbitrary
+// non-negative observation streams across all three models.
+func TestQuickUncertaintyInvariant(t *testing.T) {
+	f := func(seed int64, nObs uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		models := []Forecaster{
+			NewSES(0.1 + 0.8*r.Float64()),
+			NewDES(0.1+0.8*r.Float64(), 0.1+0.8*r.Float64()),
+			NewHoltWinters(0.1+0.8*r.Float64(), 0.1+0.8*r.Float64(), 0.1+0.8*r.Float64(), 2+r.Intn(10)),
+		}
+		for i := 0; i < int(nObs); i++ {
+			v := math.Abs(r.NormFloat64()) * 50
+			for _, m := range models {
+				m.Observe(v)
+			}
+		}
+		for _, m := range models {
+			u := m.Uncertainty()
+			if u <= 0 || u > 1 || math.IsNaN(u) {
+				return false
+			}
+			for _, p := range m.Forecast(4) {
+				if p < 0 || math.IsNaN(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomLP builds a dense feasible minimization with n variables and m
+// rows, the shape the AC-RR slave problems take.
+func randomLP(n, m int, seed int64) *Problem {
+	r := rand.New(rand.NewSource(seed))
+	p := New()
+	point := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.AddVar("v", r.Float64()*2-1)
+		point[j] = r.Float64() * 5
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]Term, 0, 8)
+		act := 0.0
+		for k := 0; k < 8; k++ {
+			j := r.Intn(n)
+			c := r.Float64()*2 - 0.5
+			terms = append(terms, T(j, c))
+			act += c * point[j]
+		}
+		p.AddConstraint(LE, act+r.Float64()*3, terms...)
+	}
+	for j := 0; j < n; j++ {
+		p.AddConstraint(LE, 10, T(j, 1))
+	}
+	return p
+}
+
+func benchSolve(b *testing.B, n, m int) {
+	p := randomLP(n, m, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := p.Solve()
+		if err != nil || s.Status == IterLimit {
+			b.Fatalf("status %v err %v", s.Status, err)
+		}
+	}
+}
+
+func BenchmarkSolve50x50(b *testing.B)   { benchSolve(b, 50, 50) }
+func BenchmarkSolve200x200(b *testing.B) { benchSolve(b, 200, 200) }
+func BenchmarkSolve400x400(b *testing.B) { benchSolve(b, 400, 400) }
+
+// BenchmarkResolveRHS measures the warm path the Benders slave exercises:
+// one structural build, many right-hand-side rewrites.
+func BenchmarkResolveRHS(b *testing.B) {
+	p := randomLP(100, 100, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SetRHS(i%100, float64(1+i%7))
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

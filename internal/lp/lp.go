@@ -1,0 +1,550 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs, with dual-value extraction and Farkas infeasibility certificates.
+//
+// It is the substrate that replaces the commercial CPLEX solver used by the
+// paper "Overbooking Network Slices through Yield-driven End-to-End
+// Orchestration" (CoNEXT '18). The AC-RR engine needs three things from an
+// LP solver, all provided here:
+//
+//   - optimal primal solutions (resource reservations z, y),
+//   - dual values at optimality (Benders optimality cuts), and
+//   - dual extreme rays when the primal is infeasible (Benders
+//     feasibility cuts; "PDS(x) is unbounded" in the paper's Algorithm 1).
+//
+// Problems are stated in the natural form
+//
+//	minimize    c·x
+//	subject to  aᵢ·x {≤,=,≥} bᵢ    i = 1..m
+//	            x ≥ 0
+//
+// Upper bounds on variables are expressed as ordinary constraint rows.
+// Internally the solver converts to equality standard form with slack and
+// artificial variables and runs a two-phase dense tableau simplex with
+// Dantzig pricing and a Bland's-rule fallback that guarantees termination.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // aᵢ·x ≤ bᵢ
+	GE              // aᵢ·x ≥ bᵢ
+	EQ              // aᵢ·x = bᵢ
+)
+
+// String returns the conventional mathematical symbol for the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Sense(%d)", int(s))
+}
+
+// Status reports the outcome of a Solve call.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal    Status = iota // an optimal basic feasible solution was found
+	Infeasible               // no feasible point exists; a Farkas ray is available
+	Unbounded                // the objective decreases without bound
+	IterLimit                // the pivot budget was exhausted (numerical trouble)
+)
+
+// String names the status for logs and test failures.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Term is a single coefficient applied to a variable in a constraint row.
+type Term struct {
+	Var  int     // variable index returned by AddVar
+	Coef float64 // coefficient multiplying the variable
+}
+
+// T is shorthand for constructing a Term.
+func T(v int, coef float64) Term { return Term{Var: v, Coef: coef} }
+
+type row struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+	name  string
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; call New.
+type Problem struct {
+	cost  []float64
+	names []string
+	rows  []row
+}
+
+// New returns an empty minimization problem.
+func New() *Problem { return &Problem{} }
+
+// AddVar adds a variable with the given objective cost and returns its
+// index. All variables are implicitly bounded below by zero.
+func (p *Problem) AddVar(name string, cost float64) int {
+	p.cost = append(p.cost, cost)
+	p.names = append(p.names, name)
+	return len(p.cost) - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.cost) }
+
+// NumRows returns the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// SetCost overwrites the objective coefficient of variable v.
+func (p *Problem) SetCost(v int, cost float64) { p.cost[v] = cost }
+
+// Cost returns the objective coefficient of variable v.
+func (p *Problem) Cost(v int) float64 { return p.cost[v] }
+
+// VarName returns the name given to variable v at AddVar time.
+func (p *Problem) VarName(v int) string { return p.names[v] }
+
+// AddConstraint appends the row  Σ terms {sense} rhs  and returns its index.
+// Terms referencing the same variable are accumulated.
+func (p *Problem) AddConstraint(sense Sense, rhs float64, terms ...Term) int {
+	return p.AddNamedConstraint("", sense, rhs, terms...)
+}
+
+// AddNamedConstraint is AddConstraint with a diagnostic row name.
+func (p *Problem) AddNamedConstraint(name string, sense Sense, rhs float64, terms ...Term) int {
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	p.rows = append(p.rows, row{terms: cp, sense: sense, rhs: rhs, name: name})
+	return len(p.rows) - 1
+}
+
+// SetRHS overwrites the right-hand side of row i. This lets callers (the
+// Benders slave, branch-and-bound nodes) reuse one problem structure across
+// many solves that differ only in their right-hand sides.
+func (p *Problem) SetRHS(i int, rhs float64) { p.rows[i].rhs = rhs }
+
+// RHS returns the right-hand side of row i.
+func (p *Problem) RHS(i int) float64 { return p.rows[i].rhs }
+
+// Clone returns a deep copy of the problem, sharing nothing with p.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		cost:  append([]float64(nil), p.cost...),
+		names: append([]string(nil), p.names...),
+		rows:  make([]row, len(p.rows)),
+	}
+	for i, r := range p.rows {
+		q.rows[i] = row{
+			terms: append([]Term(nil), r.terms...),
+			sense: r.sense,
+			rhs:   r.rhs,
+			name:  r.name,
+		}
+	}
+	return q
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// Obj is the optimal objective value when Status == Optimal.
+	Obj float64
+	// X holds the optimal variable values when Status == Optimal.
+	X []float64
+	// Dual holds one dual value per constraint row when Status == Optimal,
+	// oriented so that Obj == Σᵢ Dual[i]·rhs[i] (strong duality; all
+	// variable bounds other than x ≥ 0 are explicit rows).
+	Dual []float64
+	// Ray holds a Farkas infeasibility certificate per constraint row when
+	// Status == Infeasible: any rhs vector r for which Σᵢ Ray[i]·r[i] > 0
+	// is infeasible for this constraint matrix. It is the dual extreme ray
+	// used for Benders feasibility cuts.
+	Ray []float64
+	// Pivots is the total simplex pivot count, for diagnostics.
+	Pivots int
+}
+
+// Numerical tolerances. They are deliberately loose enough to survive the
+// mildly ill-conditioned bases that big-M rows produce, and tight enough
+// that the cross-validation tests (Benders vs direct MILP) agree to 1e-6.
+const (
+	pivotTol = 1e-9 // smallest pivot magnitude accepted
+	costTol  = 1e-9 // reduced-cost optimality tolerance
+	feasTol  = 1e-7 // feasibility tolerance on row activity
+)
+
+// ErrIterLimit is returned when the simplex exceeds its pivot budget.
+var ErrIterLimit = errors.New("lp: simplex iteration limit exceeded")
+
+// Solve runs the two-phase simplex and returns the solution. It never
+// mutates the problem, so a Problem may be solved repeatedly (for example
+// with different right-hand sides between calls).
+func (p *Problem) Solve() (*Solution, error) {
+	t := newTableau(p)
+	sol := &Solution{}
+
+	// Phase 1: drive the artificial variables to zero.
+	status := t.iterate(true)
+	sol.Pivots += t.pivots
+	if status == IterLimit {
+		sol.Status = IterLimit
+		return sol, ErrIterLimit
+	}
+	if t.phase1Obj() > feasTol {
+		sol.Status = Infeasible
+		t.recomputeObjRow() // exact reduced costs for the certificate
+		sol.Ray = t.farkasRay()
+		return sol, nil
+	}
+	t.pivotOutArtificials()
+
+	// Phase 2: optimize the true objective from the feasible basis.
+	t.loadPhase2Costs()
+	status = t.iterate(false)
+	sol.Pivots += t.pivots
+	switch status {
+	case IterLimit:
+		sol.Status = IterLimit
+		return sol, ErrIterLimit
+	case Unbounded:
+		sol.Status = Unbounded
+		return sol, nil
+	}
+
+	sol.Status = Optimal
+	sol.X = t.primal()
+	sol.Obj = t.objective()
+	t.recomputeObjRow() // exact reduced costs for the duals
+	sol.Dual = t.duals()
+	return sol, nil
+}
+
+// tableau is the dense simplex working state. Columns are laid out as
+// [structural 0..n) | markers n..n+m) | rhs]. Every row owns exactly one
+// marker column: the slack/surplus for inequality rows (free to enter the
+// basis) or a pinned pseudo-slack for equality rows (never enters, exists
+// only so duals and Farkas rays can be read from its reduced cost).
+// Rows whose marker cannot serve as the initial basic variable start from a
+// *virtual* artificial: basis[i] = width+i. Virtual columns are never
+// stored or updated — they can never re-enter — which keeps the tableau
+// narrow; phase 1 only has work to do on rows that actually start virtual.
+type tableau struct {
+	p *Problem
+
+	m, n  int // rows, structural columns
+	width int // total stored columns excluding rhs: n + m
+
+	a     [][]float64 // m rows, width+1 columns (last is rhs)
+	obj   []float64   // reduced-cost row, width+1 (last is -objective value)
+	cost  []float64   // cost vector over stored columns (phase-dependent)
+	basis []int       // basis[i] = column basic in row i; width+r = virtual artificial of row r
+
+	markerSign []float64 // ±1 coefficient of each row's marker column
+	eqMarker   []bool    // true: marker is pinned (EQ row), never enters
+	flip       []float64
+	nVirtual   int // rows starting from a virtual artificial
+
+	pivots   int
+	inPhase1 bool
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.rows)
+	n := len(p.cost)
+
+	t := &tableau{p: p, m: m, n: n, width: n + m}
+	t.markerSign = make([]float64, m)
+	t.eqMarker = make([]bool, m)
+	t.flip = make([]float64, m)
+	t.basis = make([]int, m)
+	t.cost = make([]float64, t.width)
+
+	t.a = make([][]float64, m)
+	for i, r := range p.rows {
+		t.a[i] = make([]float64, t.width+1)
+		// Normalize so rhs ≥ 0; remember the sign flip to restore the
+		// caller's row orientation in duals and rays.
+		f := 1.0
+		if r.rhs < 0 {
+			f = -1.0
+		}
+		t.flip[i] = f
+		for _, tm := range r.terms {
+			t.a[i][tm.Var] += f * tm.Coef
+		}
+		t.a[i][t.width] = f * r.rhs
+
+		marker := n + i
+		switch r.sense {
+		case LE:
+			t.markerSign[i] = f
+		case GE:
+			t.markerSign[i] = -f
+		case EQ:
+			t.markerSign[i] = 1
+			t.eqMarker[i] = true
+		}
+		t.a[i][marker] = t.markerSign[i]
+
+		// Initial basis: the marker when it forms a feasible identity
+		// column (+1 with non-negative rhs), a virtual artificial else.
+		if t.markerSign[i] > 0 && !t.eqMarker[i] {
+			t.basis[i] = marker
+		} else {
+			t.basis[i] = t.width + i
+			t.nVirtual++
+		}
+	}
+	t.inPhase1 = true
+
+	// Phase-1 reduced costs: cost 1 on virtual artificials only, so
+	// obj[j] = −Σ_{i virtual} a[i][j].
+	t.obj = make([]float64, t.width+1)
+	for i := 0; i < m; i++ {
+		if t.basis[i] < t.width {
+			continue
+		}
+		for j := 0; j <= t.width; j++ {
+			t.obj[j] -= t.a[i][j]
+		}
+	}
+	return t
+}
+
+// costOf returns the current-phase cost of a column, including virtual
+// artificials.
+func (t *tableau) costOf(col int) float64 {
+	if col >= t.width {
+		if t.inPhase1 {
+			return 1
+		}
+		return 0
+	}
+	return t.cost[col]
+}
+
+// phase1Obj returns the current phase-1 objective (sum of artificials).
+func (t *tableau) phase1Obj() float64 { return -t.obj[t.width] }
+
+// objective returns the current phase-2 objective value.
+func (t *tableau) objective() float64 { return -t.obj[t.width] }
+
+// iterate pivots until optimal, unbounded, or the budget runs out.
+func (t *tableau) iterate(phase1 bool) Status {
+	// Generous budget: simplex is expected to finish in O(m+n) pivots in
+	// practice; Bland's rule after the threshold guarantees termination.
+	maxPivots := 200 * (t.m + t.width + 10)
+	blandAfter := 20 * (t.m + t.width + 10)
+
+	for iter := 0; ; iter++ {
+		if iter >= maxPivots {
+			return IterLimit
+		}
+		// Incremental updates to the reduced-cost row accumulate floating
+		// point drift over long degenerate runs; refactorize periodically
+		// so stale ±1e-10 noise cannot masquerade as negative reduced
+		// costs and stall convergence.
+		if iter > 0 && iter%256 == 0 {
+			t.recomputeObjRow()
+		}
+		useBland := iter >= blandAfter
+
+		enter := t.chooseEntering(phase1, useBland)
+		if enter < 0 {
+			return Optimal
+		}
+		leave := t.chooseLeaving(enter)
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// chooseEntering picks a column with negative reduced cost, or -1 at
+// optimality. Pinned equality markers never enter; virtual artificials are
+// not stored and therefore cannot.
+func (t *tableau) chooseEntering(phase1, bland bool) int {
+	if bland {
+		for j := 0; j < t.width; j++ {
+			if t.obj[j] < -costTol && !(j >= t.n && t.eqMarker[j-t.n]) {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -costTol
+	for j := 0; j < t.width; j++ {
+		if t.obj[j] < bestVal && !(j >= t.n && t.eqMarker[j-t.n]) {
+			best, bestVal = j, t.obj[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the minimum-ratio test on the entering column,
+// breaking ties by smallest basis column to curb cycling.
+func (t *tableau) chooseLeaving(enter int) int {
+	leave := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		aij := t.a[i][enter]
+		if aij <= pivotTol {
+			continue
+		}
+		ratio := t.a[i][t.width] / aij
+		if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (leave < 0 || t.basis[i] < t.basis[leave])) {
+			bestRatio = ratio
+			leave = i
+		}
+	}
+	return leave
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	t.pivots++
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	rowL := t.a[leave]
+	for j := 0; j <= t.width; j++ {
+		rowL[j] *= inv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j <= t.width; j++ {
+			ri[j] -= f * rowL[j]
+		}
+		ri[enter] = 0 // kill roundoff residue exactly
+	}
+	f := t.obj[enter]
+	if f != 0 {
+		for j := 0; j <= t.width; j++ {
+			t.obj[j] -= f * rowL[j]
+		}
+		t.obj[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// pivotOutArtificials removes zero-level virtual artificials from the
+// basis where possible; rows where no stored pivot column exists are
+// redundant and keep their virtual basic at level zero.
+func (t *tableau) pivotOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.width {
+			continue
+		}
+		for j := 0; j < t.width; j++ {
+			if j >= t.n && t.eqMarker[j-t.n] {
+				continue
+			}
+			if math.Abs(t.a[i][j]) > 1e-7 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}
+
+// loadPhase2Costs swaps in the true objective for the current basis.
+func (t *tableau) loadPhase2Costs() {
+	t.inPhase1 = false
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	copy(t.cost, t.p.cost)
+	t.recomputeObjRow()
+}
+
+// recomputeObjRow rebuilds the reduced-cost row exactly from the current
+// phase costs and tableau, clearing accumulated pivot roundoff.
+func (t *tableau) recomputeObjRow() {
+	cb := make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		cb[i] = t.costOf(t.basis[i])
+	}
+	for j := 0; j <= t.width; j++ {
+		s := 0.0
+		for i := 0; i < t.m; i++ {
+			if cb[i] != 0 {
+				s += cb[i] * t.a[i][j]
+			}
+		}
+		c := 0.0
+		if j < t.width {
+			c = t.cost[j]
+		}
+		t.obj[j] = c - s
+	}
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.width {
+			t.obj[t.basis[i]] = 0
+		}
+	}
+}
+
+// primal extracts the structural variable values from the basis.
+func (t *tableau) primal() []float64 {
+	x := make([]float64, t.n)
+	for i, b := range t.basis {
+		if b < t.n {
+			x[b] = t.a[i][t.width]
+		}
+	}
+	return x
+}
+
+// duals reads y = c_Bᵀ·B⁻¹ off the marker columns' reduced costs: row r's
+// marker has cost 0 and column σ_r·e_r, so its reduced cost is −σ_r·y_r.
+// Output is in the caller's row orientation.
+func (t *tableau) duals() []float64 {
+	y := make([]float64, t.m)
+	for r := 0; r < t.m; r++ {
+		y[r] = -t.obj[t.n+r] * t.markerSign[r] * t.flip[r]
+	}
+	return y
+}
+
+// farkasRay returns f = c₁_Bᵀ·B⁻¹ at phase-1 termination with positive
+// objective, read off the marker reduced costs of the phase-1 objective
+// row: the certificate satisfies f·b > 0 while fᵀA ≤ 0 over every column,
+// proving Ax = b, x ≥ 0 infeasible. Oriented to the caller's rows.
+func (t *tableau) farkasRay() []float64 {
+	f := make([]float64, t.m)
+	for r := 0; r < t.m; r++ {
+		f[r] = -t.obj[t.n+r] * t.markerSign[r] * t.flip[r]
+	}
+	return f
+}

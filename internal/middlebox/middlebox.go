@@ -1,0 +1,245 @@
+// Package middlebox implements the transparent rate-control middlebox of
+// §2.1.3: a Split-TCP proxy inserted between a slice's vertical service and
+// its end users. The proxy terminates the service-side TCP connection and
+// opens a second one toward the user, which lets it police the slice
+// without perturbing the transmitter's congestion control:
+//
+//   - traffic within the reserved capacity is forwarded transparently;
+//   - traffic above the reservation but within the SLA is buffered — the
+//     service side is acknowledged immediately (by reading eagerly) and
+//     bytes drain toward the user at the reserved rate;
+//   - traffic beyond the SLA is randomly dropped to police the slice to
+//     its agreement.
+//
+// Reservations change at every decision epoch; SetReservation applies the
+// orchestrator's new value to a live proxy without disturbing connections.
+package middlebox
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Stats counts proxy activity in bytes.
+type Stats struct {
+	Forwarded int64 // delivered to the user
+	Dropped   int64 // policed away (load beyond the SLA)
+}
+
+// Proxy is a split-TCP rate-control middlebox for one slice.
+type Proxy struct {
+	lis    net.Listener
+	target string
+
+	mu       sync.Mutex
+	slaBps   float64 // SLA bitrate Λ in bits/s
+	resBps   float64 // reserved capacity z in bits/s
+	stats    Stats
+	closed   bool
+	rng      *rand.Rand
+	winStart time.Time
+	winBytes int64
+	lastRate float64 // load estimate of the previous window (bits/s)
+
+	wg sync.WaitGroup
+}
+
+// rateWindow is the sliding window used to estimate the offered load for
+// the SLA policing decision.
+const rateWindow = 100 * time.Millisecond
+
+// chunkSize is the read granularity; one chunk approximates "a packet
+// burst" for policing and token accounting.
+const chunkSize = 16 << 10
+
+// New starts a proxy listening on listenAddr (use "127.0.0.1:0" for tests)
+// that relays to targetAddr, policing to slaMbps and shaping to
+// reservedMbps. Close releases the listener and all connections.
+func New(listenAddr, targetAddr string, slaMbps, reservedMbps float64) (*Proxy, error) {
+	lis, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("middlebox: listen: %w", err)
+	}
+	p := &Proxy{
+		lis:    lis,
+		target: targetAddr,
+		slaBps: slaMbps * 1e6,
+		resBps: reservedMbps * 1e6,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listening address — the address the slice's
+// vertical service should send user traffic to.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// SetReservation applies a new reserved capacity (Mb/s), e.g. at a
+// decision-epoch boundary.
+func (p *Proxy) SetReservation(mbps float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.resBps = mbps * 1e6
+}
+
+// SetSLA applies a new SLA bitrate (Mb/s); used when an SLA is renegotiated.
+func (p *Proxy) SetSLA(mbps float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.slaBps = mbps * 1e6
+}
+
+// Stats returns a snapshot of proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close stops accepting and waits for relay goroutines to finish.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	err := p.lis.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.handle(conn)
+	}
+}
+
+// handle splits one service connection into service↔proxy and proxy↔user
+// legs (Split TCP, [28] in the paper).
+func (p *Proxy) handle(service net.Conn) {
+	defer p.wg.Done()
+	defer service.Close()
+
+	user, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer user.Close()
+
+	done := make(chan struct{}, 2)
+	// Downstream: service → user, with policing and shaping.
+	go func() {
+		p.pump(service, user)
+		done <- struct{}{}
+	}()
+	// Upstream: user → service, transparent (acks, requests).
+	go func() {
+		io.Copy(service, user) //nolint:errcheck // best-effort relay
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// pump reads chunks from the service, applies the three-regime policy and
+// writes toward the user at no more than the reserved rate.
+func (p *Proxy) pump(service net.Conn, user net.Conn) {
+	buf := make([]byte, chunkSize)
+	tokens := float64(chunkSize) // start with one chunk of credit
+	last := time.Now()
+
+	for {
+		n, err := service.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if p.policeSLA(n) {
+				// Beyond the SLA: the chunk is dropped. The service's TCP
+				// already saw it acknowledged on the first leg, so its
+				// congestion control does not react (§2.1.3).
+				p.addDropped(int64(n))
+			} else {
+				// Within the SLA: shape to the reserved rate. Bytes wait
+				// here (the "buffer" regime) whenever the offered load
+				// exceeds the reservation.
+				for {
+					now := time.Now()
+					p.mu.Lock()
+					rate := p.resBps / 8 // bytes per second
+					p.mu.Unlock()
+					if rate < 1 {
+						rate = 1
+					}
+					tokens += rate * now.Sub(last).Seconds()
+					if tokens > 4*chunkSize {
+						tokens = 4 * chunkSize
+					}
+					last = now
+					if tokens >= float64(n) {
+						tokens -= float64(n)
+						break
+					}
+					deficit := float64(n) - tokens
+					time.Sleep(time.Duration(deficit / rate * float64(time.Second)))
+				}
+				if _, err := user.Write(chunk); err != nil {
+					return
+				}
+				p.addForwarded(int64(n))
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// policeSLA estimates the offered load over the sliding window and decides
+// whether to drop this chunk, with probability 1 − Λ/load once the load
+// exceeds the SLA.
+func (p *Proxy) policeSLA(n int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if p.winStart.IsZero() {
+		p.winStart = now
+	}
+	if el := now.Sub(p.winStart); el > rateWindow {
+		p.lastRate = float64(p.winBytes) * 8 / el.Seconds()
+		p.winStart = now
+		p.winBytes = 0
+	}
+	p.winBytes += int64(n)
+	// A young window has too little data for a stable estimate; fall back
+	// to the previous window's rate so compliant traffic is never dropped
+	// on a window boundary.
+	loadBps := p.lastRate
+	if el := now.Sub(p.winStart); el >= 20*time.Millisecond {
+		loadBps = float64(p.winBytes) * 8 / el.Seconds()
+	}
+	if loadBps <= p.slaBps || p.slaBps <= 0 {
+		return false
+	}
+	dropProb := 1 - p.slaBps/loadBps
+	return p.rng.Float64() < dropProb
+}
+
+func (p *Proxy) addForwarded(n int64) {
+	p.mu.Lock()
+	p.stats.Forwarded += n
+	p.mu.Unlock()
+}
+
+func (p *Proxy) addDropped(n int64) {
+	p.mu.Lock()
+	p.stats.Dropped += n
+	p.mu.Unlock()
+}

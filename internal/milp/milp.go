@@ -1,0 +1,243 @@
+// Package milp implements a best-first branch-and-bound solver for mixed
+// integer linear programs whose integer variables are binary (0/1). It sits
+// on top of the simplex solver in internal/lp and is the second half of the
+// from-scratch replacement for the CPLEX framework used by the paper.
+//
+// The AC-RR orchestration problem (Problem 2 in the paper) and the Benders
+// master problem (Problem 5) are exactly of this shape: binary admission /
+// path-selection decisions x coupled with continuous reservations, so a
+// binary-only branching scheme is sufficient and keeps the search simple.
+package milp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Status reports the outcome of a Solve call.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal    Status = iota // proven optimal integer solution
+	Infeasible               // no integer-feasible point exists
+	NodeLimit                // search truncated; Incumbent may still be set
+	Unbounded                // LP relaxation unbounded below
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case NodeLimit:
+		return "node-limit"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Options tune the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps the number of explored nodes; 0 means a large default.
+	MaxNodes int
+	// IntTol is the integrality tolerance; 0 means 1e-6.
+	IntTol float64
+	// Gap is the relative optimality gap at which search stops; 0 means
+	// prove optimality exactly (up to tolerances).
+	Gap float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status Status
+	Obj    float64   // objective of the incumbent when Status ∈ {Optimal, NodeLimit with incumbent}
+	X      []float64 // incumbent variable values (integers are exact 0/1)
+	Nodes  int       // explored node count
+	Pivots int       // aggregate simplex pivots across all node LPs
+}
+
+// ErrNoIncumbent is returned when the node limit is hit before any integer
+// feasible solution was found.
+var ErrNoIncumbent = errors.New("milp: node limit reached with no incumbent")
+
+// node is a branch-and-bound search node: a set of binary fixings and the
+// LP bound inherited from its parent.
+type node struct {
+	fixed map[int]float64 // var index -> 0 or 1
+	bound float64         // LP relaxation value of the parent (lower bound)
+	depth int
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve minimizes the problem p with the listed variables restricted to
+// {0, 1}. The problem must already contain rows keeping those variables in
+// [0, 1] is NOT required: the solver adds per-node bound rows itself, and a
+// global x ≤ 1 row per binary variable to tighten the root relaxation.
+//
+// p is not mutated.
+func Solve(p *lp.Problem, binaries []int, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+
+	root := p.Clone()
+	// Root tightening: every binary is at most one.
+	for _, v := range binaries {
+		root.AddNamedConstraint(fmt.Sprintf("bin_ub(%s)", root.VarName(v)), lp.LE, 1, lp.T(v, 1))
+	}
+
+	sol := &Solution{Status: Infeasible, Obj: math.Inf(1)}
+	isBin := make(map[int]bool, len(binaries))
+	for _, v := range binaries {
+		isBin[v] = true
+	}
+
+	q := &nodeQueue{}
+	heap.Init(q)
+	heap.Push(q, &node{fixed: map[int]float64{}, bound: math.Inf(-1)})
+
+	var incumbent []float64
+	incumbentObj := math.Inf(1)
+	haveIncumbent := false
+
+	for q.Len() > 0 {
+		if sol.Nodes >= opts.MaxNodes {
+			if haveIncumbent {
+				sol.Status = NodeLimit
+				sol.Obj = incumbentObj
+				sol.X = incumbent
+				return sol, nil
+			}
+			sol.Status = NodeLimit
+			return sol, ErrNoIncumbent
+		}
+		nd := heap.Pop(q).(*node)
+		// Bound pruning against the incumbent.
+		if haveIncumbent && nd.bound >= incumbentObj-1e-9 {
+			continue
+		}
+		sol.Nodes++
+
+		lpNode := root.Clone()
+		for v, val := range nd.fixed {
+			lpNode.AddConstraint(lp.EQ, val, lp.T(v, 1))
+		}
+		res, err := lpNode.Solve()
+		if err != nil {
+			return sol, err
+		}
+		sol.Pivots += res.Pivots
+		switch res.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// Binary fixings cannot unbound a problem that is bounded over
+			// the binary hypercube; an unbounded node means the continuous
+			// part itself is unbounded.
+			sol.Status = Unbounded
+			return sol, nil
+		case lp.IterLimit:
+			return sol, lp.ErrIterLimit
+		}
+		if haveIncumbent && res.Obj >= incumbentObj-1e-9 {
+			continue
+		}
+
+		branchVar, frac := -1, 0.0
+		for _, v := range binaries {
+			f := res.X[v] - math.Floor(res.X[v])
+			if f > 0.5 {
+				f = 1 - f
+			}
+			if f > opts.IntTol && f > frac {
+				branchVar, frac = v, f
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible: round the binaries exactly and accept.
+			if res.Obj < incumbentObj-1e-9 {
+				incumbentObj = res.Obj
+				incumbent = append([]float64(nil), res.X...)
+				for _, v := range binaries {
+					incumbent[v] = math.Round(incumbent[v])
+				}
+				haveIncumbent = true
+				if opts.Gap > 0 && gapClosed(q, incumbentObj, opts.Gap) {
+					break
+				}
+			}
+			continue
+		}
+
+		for _, val := range [2]float64{rounded(res.X[branchVar]), 1 - rounded(res.X[branchVar])} {
+			child := &node{
+				fixed: make(map[int]float64, len(nd.fixed)+1),
+				bound: res.Obj,
+				depth: nd.depth + 1,
+			}
+			for k, vv := range nd.fixed {
+				child.fixed[k] = vv
+			}
+			child.fixed[branchVar] = val
+			heap.Push(q, child)
+		}
+	}
+
+	if haveIncumbent {
+		sol.Status = Optimal
+		sol.Obj = incumbentObj
+		sol.X = incumbent
+		return sol, nil
+	}
+	sol.Status = Infeasible
+	return sol, nil
+}
+
+// rounded returns the nearer of {0,1} so the more promising child (matching
+// the LP relaxation) is explored first under equal bounds.
+func rounded(v float64) float64 {
+	if v >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// gapClosed reports whether every open node's bound is within the relative
+// gap of the incumbent.
+func gapClosed(q *nodeQueue, incumbent, gap float64) bool {
+	if q.Len() == 0 {
+		return true
+	}
+	best := (*q)[0].bound
+	denom := math.Max(1, math.Abs(incumbent))
+	return (incumbent-best)/denom <= gap
+}

@@ -1,0 +1,213 @@
+// Package monitor implements the monitoring and feedback pipeline of the
+// E2E orchestrator (§2.2.2): agents embedded in the data plane push
+// per-slice load samples over UDP (standing in for the paper's sFlow and
+// OpenStack Ceilometer/Gnocchi exporters), a collector ingests them into an
+// in-memory time-series store (standing in for InfluxDB), and per-epoch
+// max-aggregation produces the λ(t) = max{λ(θ) | θ ∈ κ(t)} peaks the
+// forecasting block consumes.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sample is one monitoring observation for a slice at a data-plane element.
+type Sample struct {
+	Slice   string  `json:"slice"`
+	Metric  string  `json:"metric"` // e.g. "load_mbps", "cpu_cores", "prb_share"
+	Element string  `json:"element"`
+	Epoch   int     `json:"epoch"`
+	Theta   int     `json:"theta"` // monitoring slot within the epoch
+	Value   float64 `json:"value"`
+}
+
+// key identifies one stored series.
+type key struct{ slice, metric, element string }
+
+// Store is the in-memory time-series database. It retains a bounded number
+// of samples per series (ring retention) and supports the per-epoch
+// aggregations the AC-RR engine needs. Safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	retain int
+	series map[key][]Sample
+}
+
+// NewStore creates a store retaining up to retain samples per series
+// (0 means 4096).
+func NewStore(retain int) *Store {
+	if retain <= 0 {
+		retain = 4096
+	}
+	return &Store{retain: retain, series: make(map[key][]Sample)}
+}
+
+// Add ingests a sample.
+func (s *Store) Add(sm Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key{sm.Slice, sm.Metric, sm.Element}
+	ser := append(s.series[k], sm)
+	if len(ser) > s.retain {
+		ser = ser[len(ser)-s.retain:]
+	}
+	s.series[k] = ser
+}
+
+// EpochPeak returns max{λ(θ)} for the slice/metric over every element in
+// the given epoch — the conservative aggregation of §2.2.2 — and false when
+// the epoch holds no samples.
+func (s *Store) EpochPeak(slice, metric string, epoch int) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	peak, ok := 0.0, false
+	for k, ser := range s.series {
+		if k.slice != slice || k.metric != metric {
+			continue
+		}
+		for _, sm := range ser {
+			if sm.Epoch == epoch {
+				if !ok || sm.Value > peak {
+					peak, ok = sm.Value, true
+				}
+			}
+		}
+	}
+	return peak, ok
+}
+
+// PeakSeries returns the per-epoch peaks for a slice/metric over the
+// inclusive epoch range, suitable for feeding a forecaster. Epochs with no
+// samples yield zeros.
+func (s *Store) PeakSeries(slice, metric string, from, to int) []float64 {
+	out := make([]float64, 0, to-from+1)
+	for e := from; e <= to; e++ {
+		v, _ := s.EpochPeak(slice, metric, e)
+		out = append(out, v)
+	}
+	return out
+}
+
+// Slices lists the slice names present in the store, sorted.
+func (s *Store) Slices() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for k := range s.series {
+		set[k.slice] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of stored samples across all series.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ser := range s.series {
+		n += len(ser)
+	}
+	return n
+}
+
+// Collector receives JSON-encoded samples over UDP and ingests them into a
+// Store, mirroring an sFlow collector front-ending InfluxDB.
+type Collector struct {
+	store *Store
+	conn  *net.UDPConn
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	dropped int
+}
+
+// NewCollector starts a collector on addr (e.g. "127.0.0.1:0"). Close it
+// when done.
+func NewCollector(addr string, store *Store) (*Collector, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: listen: %w", err)
+	}
+	c := &Collector{store: store, conn: conn}
+	c.wg.Add(1)
+	go c.loop()
+	return c, nil
+}
+
+// Addr returns the collector's bound UDP address, for agents to dial.
+func (c *Collector) Addr() string { return c.conn.LocalAddr().String() }
+
+// Dropped reports datagrams that failed to decode.
+func (c *Collector) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Close stops the receive loop and releases the socket.
+func (c *Collector) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Collector) loop() {
+	defer c.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		var sm Sample
+		if err := json.Unmarshal(buf[:n], &sm); err != nil {
+			c.mu.Lock()
+			c.dropped++
+			c.mu.Unlock()
+			continue
+		}
+		c.store.Add(sm)
+	}
+}
+
+// Agent pushes samples to a collector over UDP — the role sFlow agents and
+// Ceilometer publishers play on the paper's switches and CUs.
+type Agent struct {
+	conn net.Conn
+}
+
+// NewAgent dials the collector.
+func NewAgent(collectorAddr string) (*Agent, error) {
+	conn, err := net.DialTimeout("udp", collectorAddr, time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: dial collector: %w", err)
+	}
+	return &Agent{conn: conn}, nil
+}
+
+// Send publishes one sample; UDP semantics apply (fire and forget).
+func (a *Agent) Send(sm Sample) error {
+	b, err := json.Marshal(sm)
+	if err != nil {
+		return err
+	}
+	_, err = a.conn.Write(b)
+	return err
+}
+
+// Close releases the socket.
+func (a *Agent) Close() error { return a.conn.Close() }

@@ -1,0 +1,69 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Romanian(20)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.NumBS() != orig.NumBS() ||
+		back.NumCU() != orig.NumCU() || len(back.Links) != len(orig.Links) {
+		t.Fatal("round trip lost elements")
+	}
+	// The rebuilt adjacency must produce identical path sets.
+	a := orig.ComputeStats(4)
+	b := back.ComputeStats(4)
+	if a.MeanPathsPerBS != b.MeanPathsPerBS || len(a.PathDelays) != len(b.PathDelays) {
+		t.Fatal("round trip changed path structure")
+	}
+	for i := range a.PathDelays {
+		if a.PathDelays[i] != b.PathDelays[i] {
+			t.Fatal("path delays differ after round trip")
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{{{`,
+		"unknown field":   `{"name":"x","bogus":1}`,
+		"bad node ids":    `{"name":"x","nodes":[{"ID":7}]}`,
+		"bad link":        `{"name":"x","nodes":[{"ID":0},{"ID":1}],"links":[{"ID":0,"A":0,"B":0,"CapMbps":5}]}`,
+		"zero capacity":   `{"name":"x","nodes":[{"ID":0},{"ID":1}],"links":[{"ID":0,"A":0,"B":1}]}`,
+		"bs wrong kind":   `{"name":"x","nodes":[{"ID":0,"Kind":0}],"base_stations":[{"Node":0,"CapMHz":20,"Eta":0.13}]}`,
+		"cu out of range": `{"name":"x","nodes":[{"ID":0,"Kind":2}],"computing_units":[{"Node":5,"CPUCores":4}]}`,
+		"cu zero pool":    `{"name":"x","nodes":[{"ID":0,"Kind":2}],"computing_units":[{"Node":0,"CPUCores":0}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted invalid document", name)
+		}
+	}
+}
+
+func TestReadJSONMinimalValid(t *testing.T) {
+	doc := `{
+	  "name": "mini",
+	  "nodes": [{"ID":0,"Kind":1}, {"ID":1,"Kind":0}, {"ID":2,"Kind":2}],
+	  "links": [{"ID":0,"A":0,"B":1,"CapMbps":1000}, {"ID":1,"A":1,"B":2,"CapMbps":1000}],
+	  "base_stations": [{"Node":0,"CapMHz":20,"Eta":0.1333}],
+	  "computing_units": [{"Node":2,"CPUCores":8,"Edge":true}]
+	}`
+	n, err := ReadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Paths(2)[0][0]); got != 1 {
+		t.Errorf("expected 1 path through the minimal network, got %d", got)
+	}
+}

@@ -1,0 +1,303 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Default full-scale sizes from §4.3.1 of the paper.
+const (
+	RomanianBSCount = 198
+	SwissBSCount    = 197
+	ItalianBSCount  = 200 // 1497 radio units clustered into 200 BSs
+)
+
+// Radio constants (§4.3.1): 20 MHz carriers under ideal 2x2 MIMO carry
+// 150 Mb/s, so η_b = 20/150 MHz per Mb/s. The Italian clusters aggregate
+// 80–100 MHz; spectral efficiency per MHz is unchanged.
+const (
+	DefaultCarrierMHz = 20.0
+	EtaMHzPerMbps     = 20.0 / 150.0
+)
+
+// Edge/core CU sizing (§4.3.1): the edge CU holds 20·N CPU cores — enough
+// for one mMTC tenant at maximum load across N BSs — and the core CU five
+// times as much, reachable over an uncapacitated 20 ms link.
+const (
+	EdgeCoresPerBS = 20.0
+	CoreCUFactor   = 5.0
+	CoreCUDelay    = 20e-3 // seconds
+	unlimitedMbps  = 1e9
+)
+
+// builder accumulates nodes and links during generation.
+type builder struct {
+	net *Network
+	rng *rand.Rand
+}
+
+func newBuilder(name string, seed int64) *builder {
+	return &builder{net: &Network{Name: name}, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *builder) node(kind NodeKind, x, y float64) int {
+	id := len(b.net.Nodes)
+	b.net.Nodes = append(b.net.Nodes, Node{ID: id, Kind: kind, X: x, Y: y})
+	return id
+}
+
+func (b *builder) link(a, z int, capMbps float64, tech Tech) int {
+	na, nz := b.net.Nodes[a], b.net.Nodes[z]
+	id := len(b.net.Links)
+	b.net.Links = append(b.net.Links, Link{
+		ID: id, A: a, B: z, CapMbps: capMbps,
+		LengthKm: math.Hypot(na.X-nz.X, na.Y-nz.Y), Tech: tech,
+	})
+	return id
+}
+
+func (b *builder) fixedDelayLink(a, z int, capMbps, delay float64) int {
+	id := b.link(a, z, capMbps, Fiber)
+	b.net.Links[id].FixedDelay = delay
+	return id
+}
+
+func (b *builder) bs(node int, capMHz float64) {
+	b.net.BSs = append(b.net.BSs, BS{Node: node, CapMHz: capMHz, Eta: EtaMHzPerMbps})
+}
+
+// addCUs places the edge CU at the given node and a core CU behind the
+// standard uncapacitated high-latency link, sized per the paper's rule.
+func (b *builder) addCUs(edgeNode int, nBS int) {
+	edgeCores := EdgeCoresPerBS * float64(nBS)
+	b.net.CUs = append(b.net.CUs, CU{Node: edgeNode, CPUCores: edgeCores, Edge: true})
+	coreNode := b.node(CUNode, b.net.Nodes[edgeNode].X+50, b.net.Nodes[edgeNode].Y)
+	b.fixedDelayLink(edgeNode, coreNode, unlimitedMbps, CoreCUDelay)
+	b.net.CUs = append(b.net.CUs, CU{Node: coreNode, CPUCores: edgeCores * CoreCUFactor, Edge: false})
+}
+
+func (b *builder) finish() *Network {
+	b.net.build()
+	return b.net
+}
+
+// gbps converts Gb/s to the Mb/s capacity unit used throughout.
+func gbps(g float64) float64 { return g * 1000 }
+
+// Romanian generates the N1 topology: a metro core ring around the edge CU
+// with dual-homed access switches, a fiber/copper/wireless technology mix,
+// and high path redundancy (the paper reports a mean of 6.6 BS→CU paths).
+// nBS == 0 selects the full published size of 198 BSs.
+func Romanian(nBS int) *Network {
+	if nBS == 0 {
+		nBS = RomanianBSCount
+	}
+	b := newBuilder("Romanian (N1)", 101)
+	cuNode := b.node(CUNode, 0, 0)
+
+	// Core ring: fiber, 100–200 Gb/s, radius 2 km.
+	nCore := maxInt(4, nBS/33)
+	core := make([]int, nCore)
+	for i := range core {
+		ang := 2 * math.Pi * float64(i) / float64(nCore)
+		core[i] = b.node(SwitchNode, 2*math.Cos(ang), 2*math.Sin(ang))
+		b.link(cuNode, core[i], gbps(100+b.rng.Float64()*100), Fiber)
+	}
+	for i := range core {
+		b.link(core[i], core[(i+1)%nCore], gbps(100+b.rng.Float64()*100), Fiber)
+	}
+
+	// Access switches: copper or fiber to two core switches, radius 4–7 km.
+	nAcc := maxInt(6, nBS/8)
+	acc := make([]int, nAcc)
+	for i := range acc {
+		ang := 2 * math.Pi * float64(i) / float64(nAcc)
+		r := 4 + b.rng.Float64()*3
+		acc[i] = b.node(SwitchNode, r*math.Cos(ang), r*math.Sin(ang))
+		c1 := i * nCore / nAcc
+		c2 := (c1 + 1) % nCore
+		tech, cap1 := Copper, gbps(2+b.rng.Float64()*8)
+		if b.rng.Float64() < 0.5 {
+			tech, cap1 = Fiber, gbps(20+b.rng.Float64()*80)
+		}
+		b.link(acc[i], core[c1], cap1, tech)
+		b.link(acc[i], core[c2], cap1*(0.8+0.4*b.rng.Float64()), tech)
+	}
+
+	// BSs: 75% dual-homed (high path diversity), 25% single-homed; last
+	// hop copper or wireless at 2–10 Gb/s; radius 5–12 km (0.1–12 km from
+	// the CU overall).
+	for i := 0; i < nBS; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(nBS)
+		r := 0.1 + 12*b.rng.Float64()
+		bn := b.node(BSNode, r*math.Cos(ang), r*math.Sin(ang))
+		a1 := i * nAcc / nBS
+		tech, cap1 := Wireless, gbps(2.5+b.rng.Float64()*3.5)
+		if b.rng.Float64() < 0.5 {
+			tech, cap1 = Copper, gbps(4+b.rng.Float64()*8)
+		}
+		b.link(bn, acc[a1], cap1, tech)
+		if b.rng.Float64() < 0.75 {
+			b.link(bn, acc[(a1+1)%nAcc], cap1*(1+0.3*b.rng.Float64()), tech)
+		}
+		b.bs(bn, DefaultCarrierMHz)
+	}
+	b.addCUs(cuNode, nBS)
+	return b.finish()
+}
+
+// Swiss generates the N2 topology: wireless backhaul chains feeding a small
+// aggregation ring. The transport is capacity-constrained (2–10 Gb/s
+// wireless links), which is what throttles eMBB revenue in the paper's
+// "Swiss" results. nBS == 0 selects the full published size of 197 BSs.
+func Swiss(nBS int) *Network {
+	if nBS == 0 {
+		nBS = SwissBSCount
+	}
+	b := newBuilder("Swiss (N2)", 202)
+	cuNode := b.node(CUNode, 0, 0)
+
+	// Aggregation switches radiate from the CU in two-hop branches (no
+	// ring): alpine microwave backhaul is tree-like, and the only path
+	// diversity comes from sparse cross-links between branch tails and
+	// from dual-homed chain heads. This keeps the mean path count between
+	// N1's 6.6 and N3's 1.6.
+	nBranch := maxInt(3, nBS/30)
+	agg := make([]int, 0, nBranch*2)
+	tails := make([]int, 0, nBranch)
+	for br := 0; br < nBranch; br++ {
+		ang := 2 * math.Pi * float64(br) / float64(nBranch)
+		prev := cuNode
+		for d := 1; d <= 2; d++ {
+			r := float64(d) * (2 + b.rng.Float64())
+			sw := b.node(SwitchNode, r*math.Cos(ang), r*math.Sin(ang))
+			b.link(prev, sw, gbps(5+b.rng.Float64()*5), Wireless)
+			agg = append(agg, sw)
+			prev = sw
+		}
+		tails = append(tails, prev)
+	}
+	for i := range tails {
+		if b.rng.Float64() < 0.5 {
+			b.link(tails[i], tails[(i+1)%len(tails)], gbps(4+b.rng.Float64()*4), Wireless)
+		}
+	}
+	nAgg := len(agg)
+
+	// Chains of up to 3 sites hang off each aggregation switch. Each site
+	// is a small relay switch with its BS attached, so downstream sites
+	// backhaul *through* the relay, not through the BS itself (traffic
+	// never transits a BS). Chain heads are often dual-homed, giving the
+	// moderate path diversity between N1's mesh and N3's trees.
+	chainLen := 3
+	i := 0
+	for i < nBS {
+		a := (i / chainLen) % nAgg
+		prev := agg[a]
+		for j := 0; j < chainLen && i < nBS; j++ {
+			ang := 2 * math.Pi * float64(i) / float64(nBS)
+			r := 4 + b.rng.Float64()*6 + float64(j)*1.5
+			relay := b.node(SwitchNode, r*math.Cos(ang), r*math.Sin(ang))
+			b.link(relay, prev, gbps(2+b.rng.Float64()*1.5), Wireless)
+			// Some chain heads are dual-homed, but only to the sibling
+			// switch of the same branch: cross-branch dual-homing would
+			// turn the relays into mesh shortcuts and inflate path
+			// diversity beyond what a microwave backhaul exhibits.
+			if j == 0 && b.rng.Float64() < 0.35 {
+				b.link(relay, agg[a^1], gbps(2+b.rng.Float64()*1.5), Wireless)
+			}
+			bn := b.node(BSNode, r*math.Cos(ang)+0.1, r*math.Sin(ang))
+			b.link(bn, relay, gbps(2+b.rng.Float64()*1.5), Wireless)
+			b.bs(bn, DefaultCarrierMHz)
+			prev = relay
+			i++
+		}
+	}
+	b.addCUs(cuNode, nBS)
+	return b.finish()
+}
+
+// Italian generates the N3 topology: 1497 radio units clustered into 200
+// high-capacity BSs (80–100 MHz each) on a mostly single-path fiber tree
+// (the paper reports a mean of 1.6 BS→CU paths), with BSs up to 20 km from
+// the edge CU. nBS == 0 selects the full published size of 200 clusters.
+func Italian(nBS int) *Network {
+	if nBS == 0 {
+		nBS = ItalianBSCount
+	}
+	b := newBuilder("Italian (N3)", 303)
+	cuNode := b.node(CUNode, 0, 0)
+
+	// Level-1 fiber hubs.
+	nHub := maxInt(4, nBS/25)
+	hub := make([]int, nHub)
+	for i := range hub {
+		ang := 2 * math.Pi * float64(i) / float64(nHub)
+		r := 4 + b.rng.Float64()*4
+		hub[i] = b.node(SwitchNode, r*math.Cos(ang), r*math.Sin(ang))
+		b.link(cuNode, hub[i], gbps(100+b.rng.Float64()*100), Fiber)
+	}
+
+	// Level-2 fiber splitters under each hub; ~35% get a cross link to the
+	// neighboring hub, which is the only source of path diversity.
+	nSpl := maxInt(8, nBS/10)
+	spl := make([]int, nSpl)
+	for i := range spl {
+		ang := 2 * math.Pi * float64(i) / float64(nSpl)
+		r := 8 + b.rng.Float64()*6
+		spl[i] = b.node(SwitchNode, r*math.Cos(ang), r*math.Sin(ang))
+		h := i * nHub / nSpl
+		b.link(spl[i], hub[h], gbps(50+b.rng.Float64()*150), Fiber)
+		if b.rng.Float64() < 0.35 {
+			b.link(spl[i], hub[(h+1)%nHub], gbps(50+b.rng.Float64()*150), Fiber)
+		}
+	}
+
+	// Cluster BSs: single fiber uplink, 80–100 MHz aggregate carriers,
+	// 0.1–20 km from the CU.
+	for i := 0; i < nBS; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(nBS)
+		r := 0.1 + 20*b.rng.Float64()
+		bn := b.node(BSNode, r*math.Cos(ang), r*math.Sin(ang))
+		b.link(bn, spl[i*nSpl/nBS], gbps(50+b.rng.Float64()*150), Fiber)
+		b.bs(bn, 80+b.rng.Float64()*20)
+	}
+	b.addCUs(cuNode, nBS)
+	return b.finish()
+}
+
+// Testbed builds the experimental proof-of-concept data plane of §5
+// (Fig. 7 and Table 2): two 20 MHz BSs (100 PRBs each), one OpenFlow
+// switch with 1 Gb/s Ethernet links, a 16-core edge CU and a 64-core core
+// CU behind an emulated 30 ms backhaul.
+func Testbed() *Network {
+	b := newBuilder("Testbed", 7)
+	sw := b.node(SwitchNode, 0, 0)
+
+	bs0 := b.node(BSNode, -0.05, 0.02)
+	bs1 := b.node(BSNode, -0.05, -0.02)
+	b.link(bs0, sw, 1000, Copper)
+	b.link(bs1, sw, 1000, Copper)
+	b.bs(bs0, DefaultCarrierMHz)
+	b.bs(bs1, DefaultCarrierMHz)
+
+	edge := b.node(CUNode, 0.05, 0.02)
+	b.link(sw, edge, 1000, Copper)
+	b.net.CUs = append(b.net.CUs, CU{Node: edge, CPUCores: 16, Edge: true})
+
+	// The paper's testbed emulates "30 ms" to the core CU with netem, yet
+	// Fig. 8(d) shows mMTC (Δ = 30 ms) hosted there — their budget is
+	// inclusive of the emulated hop. We configure the link so the
+	// end-to-end path lands just inside 30 ms.
+	core := b.node(CUNode, 0.05, -0.02)
+	b.fixedDelayLink(sw, core, 1000, 29.9e-3)
+	b.net.CUs = append(b.net.CUs, CU{Node: core, CPUCores: 64, Edge: false})
+	return b.finish()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,267 @@
+// Package topology models the multi-domain mobile data plane of the paper:
+// a radio access network of base stations (BSs), a distributed computing
+// fabric of computing units (CUs), and an SDN transport network connecting
+// them, modelled as an undirected graph whose edges are capacity-limited
+// links (§2.1 of the paper).
+//
+// It provides the store-and-forward path delay model of §4.3.1 (footnote
+// 11), k-shortest path enumeration between every BS and CU (the offline
+// P_{b,c} sets the AC-RR optimizer consumes), and deterministic synthetic
+// generators reproducing the published characteristics of the three real
+// European operator networks the paper evaluates on (Fig. 4): the operators'
+// raw GIS data is confidential, so the generators are tuned to every
+// statistic the paper reports — BS counts, path-diversity means, link
+// technology mixes, capacity ranges (2–200 Gb/s) and BS–CU distances
+// (0.1–20 km).
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tech identifies the transmission technology of a transport link; the mix
+// differs per operator (§4.3.1: "N3 uses mainly fiber, N2 wireless and N1
+// fiber, copper and wireless") and drives both capacity and per-km delay.
+type Tech int
+
+// Link technologies.
+const (
+	Fiber Tech = iota
+	Copper
+	Wireless
+)
+
+// String names the technology.
+func (t Tech) String() string {
+	switch t {
+	case Fiber:
+		return "fiber"
+	case Copper:
+		return "copper"
+	case Wireless:
+		return "wireless"
+	}
+	return fmt.Sprintf("Tech(%d)", int(t))
+}
+
+// NodeKind distinguishes data-plane element types.
+type NodeKind int
+
+// Node kinds.
+const (
+	SwitchNode NodeKind = iota
+	BSNode
+	CUNode
+)
+
+// Node is a data-plane element placed on a 2-D map (km coordinates).
+type Node struct {
+	ID   int
+	Kind NodeKind
+	X, Y float64 // km
+}
+
+// Link is an undirected transport edge between two nodes.
+type Link struct {
+	ID       int
+	A, B     int     // node IDs
+	CapMbps  float64 // transport capacity Ce in Mb/s
+	LengthKm float64
+	Tech     Tech
+	// FixedDelay, when positive, overrides the analytic delay model for
+	// this link (used for the emulated 20–30 ms backhaul to the core CU).
+	FixedDelay float64 // seconds
+}
+
+// BS is a base station with its radio capacity. CapMHz is C_b; the
+// spectral-efficiency factor η_b (MHz per Mb/s) maps a bitrate reservation
+// into radio resources (constraint (4) of the paper). The paper's ideal
+// 2x2-MIMO LTE setting gives η_b = 20/150 for a 20 MHz carrier.
+type BS struct {
+	Node   int
+	CapMHz float64
+	Eta    float64 // MHz per Mb/s
+}
+
+// MaxBitrate returns the aggregate bitrate (Mb/s) the BS can carry.
+func (b BS) MaxBitrate() float64 { return b.CapMHz / b.Eta }
+
+// CU is a computing unit (edge or core cloud) with an aggregate CPU pool
+// (constraint (2) of the paper).
+type CU struct {
+	Node     int
+	CPUCores float64
+	Edge     bool // true for the edge CU, false for core clouds
+}
+
+// Network is an immutable data-plane topology.
+type Network struct {
+	Name  string
+	Nodes []Node
+	Links []Link
+	BSs   []BS
+	CUs   []CU
+
+	adj map[int][]int // node -> incident link IDs
+}
+
+// Per-link delay model constants (paper §4.3.1, footnote 11): a 12000-bit
+// packet store-and-forward time 12000/Ce, propagation at 4 µs/km for cable
+// and 5 µs/km for wireless, plus 5 µs of fixed per-hop processing.
+const (
+	packetBits       = 12000.0
+	cableUsPerKm     = 4e-6
+	wirelessUsPerKm  = 5e-6
+	perHopProcessing = 5e-6
+)
+
+// LinkDelay returns the one-way delay of a link in seconds.
+func LinkDelay(l Link) float64 {
+	if l.FixedDelay > 0 {
+		return l.FixedDelay
+	}
+	prop := cableUsPerKm
+	if l.Tech == Wireless {
+		prop = wirelessUsPerKm
+	}
+	return packetBits/(l.CapMbps*1e6) + prop*l.LengthKm + perHopProcessing
+}
+
+// build finalizes internal indices; generators call it once.
+func (n *Network) build() {
+	n.adj = make(map[int][]int, len(n.Nodes))
+	for _, l := range n.Links {
+		n.adj[l.A] = append(n.adj[l.A], l.ID)
+		n.adj[l.B] = append(n.adj[l.B], l.ID)
+	}
+}
+
+// NumBS and NumCU report domain sizes.
+func (n *Network) NumBS() int { return len(n.BSs) }
+
+// NumCU reports the number of computing units.
+func (n *Network) NumCU() int { return len(n.CUs) }
+
+// LinkByID returns the link with the given ID.
+func (n *Network) LinkByID(id int) Link { return n.Links[id] }
+
+// other returns the far end of link l seen from node v.
+func (n *Network) other(l Link, v int) int {
+	if l.A == v {
+		return l.B
+	}
+	return l.A
+}
+
+// Path is a loop-free BS→CU route: an ordered link sequence with its
+// precomputed end-to-end delay D_p and bottleneck capacity.
+type Path struct {
+	BS, CU  int // indices into Network.BSs / Network.CUs
+	LinkIDs []int
+	NodeIDs []int // includes both endpoints
+	Delay   float64
+	CapMbps float64 // min link capacity along the path
+}
+
+// Uses reports whether the path traverses link id (the 1_{e∈p} indicator of
+// constraint (3)).
+func (p Path) Uses(linkID int) bool {
+	for _, id := range p.LinkIDs {
+		if id == linkID {
+			return true
+		}
+	}
+	return false
+}
+
+// Paths computes P_{b,c} for every (BS, CU) pair: up to k loop-free
+// shortest-delay paths (Yen's algorithm over Dijkstra), the offline
+// precomputation step of §2.1.2.
+func (n *Network) Paths(k int) [][][]Path {
+	out := make([][][]Path, len(n.BSs))
+	for bi, b := range n.BSs {
+		out[bi] = make([][]Path, len(n.CUs))
+		for ci, c := range n.CUs {
+			raw := n.kShortest(b.Node, c.Node, k)
+			paths := make([]Path, len(raw))
+			for i, r := range raw {
+				paths[i] = n.finishPath(bi, ci, r)
+			}
+			out[bi][ci] = paths
+		}
+	}
+	return out
+}
+
+// finishPath annotates a raw node/link route with delay and bottleneck.
+func (n *Network) finishPath(bi, ci int, r route) Path {
+	p := Path{BS: bi, CU: ci, LinkIDs: r.links, NodeIDs: r.nodes, CapMbps: math.Inf(1)}
+	for _, id := range r.links {
+		l := n.Links[id]
+		p.Delay += LinkDelay(l)
+		if l.CapMbps < p.CapMbps {
+			p.CapMbps = l.CapMbps
+		}
+	}
+	return p
+}
+
+// Stats summarizes the topology the way Fig. 4 of the paper does.
+type Stats struct {
+	MeanPathsPerBS  float64   // path diversity toward the edge CU
+	PathCapsMbps    []float64 // per-path bottleneck capacities (sorted)
+	PathDelays      []float64 // per-path delays in seconds (sorted)
+	BSCUDistancesKm []float64
+}
+
+// ComputeStats enumerates up to k paths from every BS to the edge CU and
+// aggregates the distributions plotted in Fig. 4(d)/(e).
+func (n *Network) ComputeStats(k int) Stats {
+	var s Stats
+	edge := 0
+	for ci, c := range n.CUs {
+		if c.Edge {
+			edge = ci
+			break
+		}
+	}
+	cuNode := n.Nodes[n.CUs[edge].Node]
+	total := 0
+	for _, b := range n.BSs {
+		raw := n.kShortest(b.Node, n.CUs[edge].Node, k)
+		total += len(raw)
+		for _, r := range raw {
+			p := n.finishPath(0, edge, r)
+			s.PathCapsMbps = append(s.PathCapsMbps, p.CapMbps)
+			s.PathDelays = append(s.PathDelays, p.Delay)
+		}
+		bn := n.Nodes[b.Node]
+		s.BSCUDistancesKm = append(s.BSCUDistancesKm,
+			math.Hypot(bn.X-cuNode.X, bn.Y-cuNode.Y))
+	}
+	if len(n.BSs) > 0 {
+		s.MeanPathsPerBS = float64(total) / float64(len(n.BSs))
+	}
+	sort.Float64s(s.PathCapsMbps)
+	sort.Float64s(s.PathDelays)
+	sort.Float64s(s.BSCUDistancesKm)
+	return s
+}
+
+// CDF returns (value, cumulative-fraction) pairs for a sorted sample at the
+// requested number of evenly spaced quantile points, ready to print as a
+// Fig. 4-style distribution row.
+func CDF(sorted []float64, points int) [][2]float64 {
+	if len(sorted) == 0 || points < 2 {
+		return nil
+	}
+	out := make([][2]float64, points)
+	for i := 0; i < points; i++ {
+		q := float64(i) / float64(points-1)
+		idx := int(q * float64(len(sorted)-1))
+		out[i] = [2]float64{sorted[idx], q}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+// Package traffic generates the vertical-service load processes the
+// evaluation uses: per-monitoring-sample Gaussian demand with configurable
+// mean and standard deviation (§4.3.2: λ(θ) ~ N(λ̄, σ) with λ̄ = αΛ),
+// deterministic mMTC streams, and diurnal day-shaped profiles for the
+// testbed experiment of §5. It stands in for the mgen traffic VMs of the
+// paper's proof-of-concept.
+package traffic
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Generator produces one network-load sample (Mb/s) per monitoring slot θ.
+type Generator interface {
+	// Sample returns the load of monitoring slot θ of decision epoch t.
+	Sample(t, theta int) float64
+	// Mean returns the long-run mean load of the process, used by the
+	// scenario builders to parameterize λ̄ = αΛ.
+	Mean() float64
+}
+
+// Gaussian is the homogeneous-scenario process: i.i.d. truncated normal
+// samples with mean λ̄ and standard deviation σ, clipped at zero and at the
+// physical ceiling (users cannot exceed the radio they are given, but they
+// can exceed their SLA — the middlebox handles that).
+type Gaussian struct {
+	MeanMbps float64
+	StdMbps  float64
+	CapMbps  float64 // physical ceiling; 0 = uncapped
+	rng      *rand.Rand
+}
+
+// NewGaussian returns a seeded Gaussian load process.
+func NewGaussian(mean, std, capMbps float64, seed int64) *Gaussian {
+	return &Gaussian{MeanMbps: mean, StdMbps: std, CapMbps: capMbps,
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample implements Generator.
+func (g *Gaussian) Sample(t, theta int) float64 {
+	v := g.MeanMbps + g.rng.NormFloat64()*g.StdMbps
+	if v < 0 {
+		v = 0
+	}
+	if g.CapMbps > 0 && v > g.CapMbps {
+		v = g.CapMbps
+	}
+	return v
+}
+
+// Mean implements Generator.
+func (g *Gaussian) Mean() float64 { return g.MeanMbps }
+
+// Constant is the deterministic mMTC process (σ_mMTC = 0 in Table 1).
+type Constant struct{ MeanMbps float64 }
+
+// Sample implements Generator.
+func (c Constant) Sample(t, theta int) float64 { return c.MeanMbps }
+
+// Mean implements Generator.
+func (c Constant) Mean() float64 { return c.MeanMbps }
+
+// Diurnal follows the classic mobile-network day shape: a sinusoid with a
+// morning ramp and evening peak plus Gaussian jitter, repeating every
+// PeriodEpochs. It exercises the seasonal tracking of the Holt-Winters
+// forecaster the way real slice traffic does (§2.2.2 cites [36] for this
+// periodicity).
+type Diurnal struct {
+	BaseMbps        float64 // trough level
+	PeakMbps        float64 // crest level
+	PeriodEpochs    int     // epochs per day
+	JitterMbps      float64
+	SamplesPerEpoch int
+	rng             *rand.Rand
+}
+
+// NewDiurnal returns a seeded diurnal load process.
+func NewDiurnal(base, peak float64, periodEpochs, samplesPerEpoch int, jitter float64, seed int64) *Diurnal {
+	if periodEpochs < 2 {
+		panic("traffic: diurnal period must be >= 2 epochs")
+	}
+	return &Diurnal{BaseMbps: base, PeakMbps: peak, PeriodEpochs: periodEpochs,
+		SamplesPerEpoch: samplesPerEpoch, JitterMbps: jitter,
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample implements Generator. The phase advances smoothly within the
+// epoch so per-sample maxima reflect intra-epoch growth.
+func (d *Diurnal) Sample(t, theta int) float64 {
+	frac := float64(t) + float64(theta)/math.Max(1, float64(d.SamplesPerEpoch))
+	phase := 2 * math.Pi * frac / float64(d.PeriodEpochs)
+	// Shift so the minimum lands at t=0 (early morning).
+	level := d.BaseMbps + (d.PeakMbps-d.BaseMbps)*(1-math.Cos(phase))/2
+	v := level + d.rng.NormFloat64()*d.JitterMbps
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Mean implements Generator.
+func (d *Diurnal) Mean() float64 { return (d.BaseMbps + d.PeakMbps) / 2 }
+
+// EpochPeak draws the κ monitoring samples of epoch t and returns their
+// maximum — exactly the λ(t) = max{λ(θ)} aggregation of §2.2.2 that the
+// monitoring block feeds to the forecaster.
+func EpochPeak(g Generator, t, samplesPerEpoch int) float64 {
+	peak := 0.0
+	for theta := 0; theta < samplesPerEpoch; theta++ {
+		if v := g.Sample(t, theta); v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// EpochSamples returns all κ monitoring samples of epoch t.
+func EpochSamples(g Generator, t, samplesPerEpoch int) []float64 {
+	out := make([]float64, samplesPerEpoch)
+	for theta := range out {
+		out[theta] = g.Sample(t, theta)
+	}
+	return out
+}

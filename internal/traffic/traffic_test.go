@@ -1,0 +1,123 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianStatistics(t *testing.T) {
+	g := NewGaussian(50, 10, 0, 1)
+	n := 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.Sample(0, i)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean-50) > 0.5 {
+		t.Errorf("mean = %v, want ≈50", mean)
+	}
+	if math.Abs(std-10) > 0.5 {
+		t.Errorf("std = %v, want ≈10", std)
+	}
+	if g.Mean() != 50 {
+		t.Error("Mean() wrong")
+	}
+}
+
+func TestGaussianClipping(t *testing.T) {
+	g := NewGaussian(5, 50, 30, 2)
+	for i := 0; i < 5000; i++ {
+		v := g.Sample(0, i)
+		if v < 0 || v > 30 {
+			t.Fatalf("sample %v outside [0, 30]", v)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{MeanMbps: 10}
+	for i := 0; i < 10; i++ {
+		if c.Sample(i, i) != 10 {
+			t.Fatal("mMTC traffic must be deterministic")
+		}
+	}
+	if c.Mean() != 10 {
+		t.Error("Mean() wrong")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := NewDiurnal(10, 100, 24, 12, 0, 3)
+	// Trough at t=0, crest at t=12.
+	lo := d.Sample(0, 0)
+	hi := d.Sample(12, 0)
+	if !(hi > lo*5) {
+		t.Errorf("diurnal crest %v not well above trough %v", hi, lo)
+	}
+	// Periodic: t and t+24 match when jitter is zero.
+	if math.Abs(d.Sample(3, 0)-d.Sample(27, 0)) > 1e-9 {
+		t.Error("diurnal process must repeat every period")
+	}
+	if d.Mean() != 55 {
+		t.Errorf("Mean() = %v, want 55", d.Mean())
+	}
+}
+
+func TestDiurnalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDiurnal(1, 2, 1, 12, 0, 1)
+}
+
+func TestEpochPeakIsMax(t *testing.T) {
+	g := NewGaussian(50, 20, 0, 4)
+	// Re-seed an identical generator to compare sample-by-sample.
+	g2 := NewGaussian(50, 20, 0, 4)
+	peak := EpochPeak(g, 7, 12)
+	max := 0.0
+	for _, v := range EpochSamples(g2, 7, 12) {
+		if v > max {
+			max = v
+		}
+	}
+	if peak != max {
+		t.Errorf("EpochPeak = %v, max sample = %v", peak, max)
+	}
+}
+
+// TestQuickPeakDominatesSamples: the max-aggregation the paper uses to
+// bound under-allocation must dominate every sample and the process mean
+// cannot be exceeded by the trough of a non-negative process.
+func TestQuickPeakDominatesSamples(t *testing.T) {
+	f := func(seed int64, mean, std uint8, epoch uint8) bool {
+		g := NewGaussian(float64(mean), float64(std)/4, 0, seed)
+		g2 := NewGaussian(float64(mean), float64(std)/4, 0, seed)
+		peak := EpochPeak(g, int(epoch), 12)
+		for _, v := range EpochSamples(g2, int(epoch), 12) {
+			if v > peak+1e-12 || v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	a := NewGaussian(50, 10, 0, 99)
+	b := NewGaussian(50, 10, 0, 99)
+	for i := 0; i < 100; i++ {
+		if a.Sample(0, i) != b.Sample(0, i) {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
