@@ -1,0 +1,33 @@
+# Single source of truth for build/verify commands: CI invokes these same
+# targets, so a green `make ci` locally means a green workflow run.
+
+GO ?= go
+
+.PHONY: build test test-race vet fmt-check bench bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench regenerates every figure/table artifact with real timing.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-smoke compiles and runs every benchmark exactly once — the CI
+# guard that no figure/table regeneration path has bit-rotted.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build vet fmt-check test-race bench-smoke

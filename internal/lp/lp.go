@@ -202,8 +202,15 @@ var ErrIterLimit = errors.New("lp: simplex iteration limit exceeded")
 
 // Solve runs the two-phase simplex and returns the solution. It never
 // mutates the problem, so a Problem may be solved repeatedly (for example
-// with different right-hand sides between calls).
-func (p *Problem) Solve() (*Solution, error) {
+// with different right-hand sides between calls). For solve sequences that
+// perturb RHS or costs between calls, SolveFrom re-enters from the previous
+// basis instead of restarting from scratch.
+func (p *Problem) Solve() (*Solution, error) { return p.solveCold(nil) }
+
+// solveCold is the two-phase tableau path. When cap is non-nil, the final
+// basis is captured into it so a later SolveFrom can warm-start; outcomes
+// without a usable basis (iteration limit, unboundedness) reset it.
+func (p *Problem) solveCold(cap *Basis) (*Solution, error) {
 	t := newTableau(p)
 	sol := &Solution{}
 
@@ -212,12 +219,22 @@ func (p *Problem) Solve() (*Solution, error) {
 	sol.Pivots += t.pivots
 	if status == IterLimit {
 		sol.Status = IterLimit
+		if cap != nil {
+			cap.Reset()
+		}
 		return sol, ErrIterLimit
 	}
 	if t.phase1Obj() > feasTol {
 		sol.Status = Infeasible
 		t.recomputeObjRow() // exact reduced costs for the certificate
 		sol.Ray = t.farkasRay()
+		// A phase-1-terminal basis is almost never dual feasible for the
+		// real costs, so capturing it would make every later warm attempt
+		// factorize B⁻¹ only to bail to cold. Drop it; warm chains start
+		// from optimal (or warm-infeasible) bases only.
+		if cap != nil {
+			cap.Reset()
+		}
 		return sol, nil
 	}
 	t.pivotOutArtificials()
@@ -229,9 +246,15 @@ func (p *Problem) Solve() (*Solution, error) {
 	switch status {
 	case IterLimit:
 		sol.Status = IterLimit
+		if cap != nil {
+			cap.Reset()
+		}
 		return sol, ErrIterLimit
 	case Unbounded:
 		sol.Status = Unbounded
+		if cap != nil {
+			cap.Reset()
+		}
 		return sol, nil
 	}
 
@@ -240,6 +263,9 @@ func (p *Problem) Solve() (*Solution, error) {
 	sol.Obj = t.objective()
 	t.recomputeObjRow() // exact reduced costs for the duals
 	sol.Dual = t.duals()
+	if cap != nil {
+		cap.capture(t)
+	}
 	return sol, nil
 }
 

@@ -1,0 +1,628 @@
+// revised.go implements the warm-start half of the solver: a revised
+// simplex over an explicit Basis (basic column set plus a maintained dense
+// inverse B⁻¹ updated by product-form eta pivots). Where the tableau in
+// lp.go rebuilds everything from a cold start, SolveFrom re-enters from a
+// previous optimal basis:
+//
+//   - right-hand-side changes (the Benders slave rewrites only RHS per
+//     iteration) leave the basis dual feasible, so a handful of dual
+//     simplex pivots restore optimality;
+//   - cost changes leave it primal feasible, so the primal revised simplex
+//     re-optimizes directly;
+//   - anything the warm path cannot certify — stale shape, a singular
+//     basis, neither feasibility holding, or a failed post-solve check —
+//     falls back to the cold two-phase tableau, which then recaptures the
+//     basis. Warm starting is therefore always safe, merely sometimes slow.
+//
+// The column space matches the tableau's: structural variables 0..n-1
+// followed by one marker column per row (slack for ≤, surplus for ≥, and a
+// pinned pseudo-slack for = rows that may sit in the basis of a redundant
+// row at level zero but never enters a pivot). Unlike the tableau, rows are
+// kept in the caller's orientation — no sign flips — so duals and Farkas
+// rays read off B⁻¹ directly.
+package lp
+
+import "math"
+
+// Basis is resumable solver state: the basic column set of a previous
+// solve over the same problem shape, plus the maintained inverse. The zero
+// value is an empty basis; SolveFrom on one cold-starts and captures. A
+// Basis belongs to one Problem structure (same variable and row counts,
+// same senses) whose RHS and costs may change between solves; it is not
+// safe for concurrent use.
+type Basis struct {
+	m, n int         // shape (rows, structural variables) the basis was taken on
+	cols []int       // basic column per row position: j < n structural, n+r marker
+	binv [][]float64 // dense B⁻¹, maintained by eta updates; nil ⇒ refactorize
+	etas int         // eta updates since the last full refactorization
+}
+
+// Warm reports whether the basis holds resumable state matching p's shape.
+func (b *Basis) Warm(p *Problem) bool {
+	return b != nil && b.m == len(p.rows) && b.n == len(p.cost) && len(b.cols) == b.m
+}
+
+// Reset discards all state so the next SolveFrom cold-starts.
+func (b *Basis) Reset() {
+	b.m, b.n, b.cols, b.binv, b.etas = 0, 0, nil, nil, 0
+}
+
+// capture stores the final basis of a cold tableau solve. Rows that ended
+// on a virtual artificial (redundant rows) are mapped to their marker
+// column; if that marker is already basic elsewhere the resulting matrix is
+// singular and the next warm attempt will detect it and fall back.
+func (b *Basis) capture(t *tableau) {
+	b.m, b.n = t.m, t.n
+	b.cols = make([]int, t.m)
+	for i, c := range t.basis {
+		if c >= t.width {
+			c = t.n + i
+		}
+		b.cols[i] = c
+	}
+	b.binv = nil
+	b.etas = 0
+}
+
+// SolveFrom solves the problem starting from a previous basis, updating
+// basis in place so the next call re-enters from this solve's endpoint.
+// A nil basis is identical to Solve. Results are exactly those Solve would
+// produce (same statuses, duals oriented the same way, Farkas rays valid
+// for the same certificate check); only the pivot path differs.
+func (p *Problem) SolveFrom(basis *Basis) (*Solution, error) {
+	if basis == nil {
+		return p.Solve()
+	}
+	if basis.Warm(p) {
+		if sol, ok := p.solveWarm(basis); ok {
+			return sol, nil
+		}
+	}
+	return p.solveCold(basis)
+}
+
+// How many eta updates B⁻¹ accumulates before a full refactorization
+// clears the compounded roundoff.
+const refactorEvery = 64
+
+// Reduced-cost slack accepted when testing whether a stale basis is still
+// dual feasible; looser than costTol so harmless drift from the previous
+// solve does not force a cold restart.
+const warmDualTol = 1e-7
+
+// warmStatus is the outcome of one revised-simplex loop.
+type warmStatus int
+
+const (
+	warmOptimal warmStatus = iota
+	warmInfeasible
+	warmUnbounded
+	warmBail // numerical trouble or budget exhausted: fall back to cold
+)
+
+// centry is one nonzero of a structural column.
+type centry struct {
+	row  int
+	coef float64
+}
+
+// revised is the per-solve working state of the warm-start engine. It
+// mutates the Basis it was built from in place, so the caller's handle
+// tracks every pivot.
+type revised struct {
+	p     *Problem
+	m, n  int
+	width int
+
+	cola   [][]centry // column-sparse structural A, caller row orientation
+	sigma  []float64  // marker coefficient per row: +1 for ≤ and =, −1 for ≥
+	pinned []bool     // = rows: marker may be basic at zero but never enters
+	rhs    []float64
+
+	bs      *Basis
+	inBasis []bool
+	xB      []float64 // basic variable values, aligned with bs.cols
+	y       []float64 // duals c_Bᵀ·B⁻¹ for the current basis
+	ray     []float64 // Farkas certificate when dual simplex proves infeasible
+	pivots  int
+}
+
+func newRevised(p *Problem, bs *Basis) *revised {
+	m, n := len(p.rows), len(p.cost)
+	r := &revised{
+		p: p, m: m, n: n, width: n + m,
+		cola:   make([][]centry, n),
+		sigma:  make([]float64, m),
+		pinned: make([]bool, m),
+		rhs:    make([]float64, m),
+		bs:     bs,
+		xB:     make([]float64, m),
+		y:      make([]float64, m),
+	}
+	for i, row := range p.rows {
+		r.rhs[i] = row.rhs
+		switch row.sense {
+		case LE:
+			r.sigma[i] = 1
+		case GE:
+			r.sigma[i] = -1
+		case EQ:
+			r.sigma[i] = 1
+			r.pinned[i] = true
+		}
+		for _, tm := range row.terms {
+			r.cola[tm.Var] = append(r.cola[tm.Var], centry{row: i, coef: tm.Coef})
+		}
+	}
+	r.inBasis = make([]bool, r.width)
+	for _, c := range bs.cols {
+		if c >= 0 && c < r.width {
+			r.inBasis[c] = true
+		}
+	}
+	return r
+}
+
+// solveWarm attempts the revised-simplex warm path; ok == false means the
+// caller must fall back to a cold solve.
+func (p *Problem) solveWarm(bs *Basis) (*Solution, bool) {
+	r := newRevised(p, bs)
+	if !r.ensureFactorized() {
+		return nil, false
+	}
+	r.computeXB()
+	if r.pinnedViolated() {
+		return nil, false
+	}
+	r.computeY()
+
+	var st warmStatus
+	switch {
+	case r.dualFeasible():
+		st = r.dualSimplex()
+	case r.primalFeasible():
+		st = r.primalSimplex()
+	default:
+		return nil, false
+	}
+
+	switch st {
+	case warmOptimal:
+		sol := r.optimalSolution()
+		if !r.verifyOptimal(sol) {
+			return nil, false
+		}
+		return sol, true
+	case warmInfeasible:
+		if !r.verifyRay() {
+			return nil, false
+		}
+		return &Solution{Status: Infeasible, Ray: r.ray, Pivots: r.pivots}, true
+	default:
+		// Unbounded is rare on the workloads that warm-start (bounded
+		// slave LPs); re-derive it from the cold path where the result is
+		// established by the tableau's own certificates.
+		return nil, false
+	}
+}
+
+// pinnedViolated reports whether an equality pseudo-slack sits in the basis
+// away from zero — a state the pivot rules cannot repair (it would need a
+// phase-1 restart), so the warm path declines it.
+func (r *revised) pinnedViolated() bool {
+	for i, c := range r.bs.cols {
+		if c >= r.n && r.pinned[c-r.n] && math.Abs(r.xB[i]) > feasTol {
+			return true
+		}
+	}
+	return false
+}
+
+// column applies one column of [A | markers] to a visitor.
+func (r *revised) column(j int, visit func(row int, coef float64)) {
+	if j < r.n {
+		for _, e := range r.cola[j] {
+			visit(e.row, e.coef)
+		}
+		return
+	}
+	row := j - r.n
+	visit(row, r.sigma[row])
+}
+
+// colDot returns vᵀ·A_j.
+func (r *revised) colDot(v []float64, j int) float64 {
+	s := 0.0
+	r.column(j, func(row int, coef float64) { s += v[row] * coef })
+	return s
+}
+
+// ftran computes u = B⁻¹·A_j.
+func (r *revised) ftran(j int, u []float64) {
+	for i := range u {
+		u[i] = 0
+	}
+	binv := r.bs.binv
+	r.column(j, func(row int, coef float64) {
+		for i := 0; i < r.m; i++ {
+			u[i] += coef * binv[i][row]
+		}
+	})
+}
+
+// costOfCol is the phase-2 cost of a column (markers cost nothing).
+func (r *revised) costOfCol(j int) float64 {
+	if j < r.n {
+		return r.p.cost[j]
+	}
+	return 0
+}
+
+// reducedCost returns d_j = c_j − yᵀ·A_j for the current duals.
+func (r *revised) reducedCost(j int) float64 {
+	return r.costOfCol(j) - r.colDot(r.y, j)
+}
+
+// ensureFactorized (re)builds B⁻¹ from the basic column set by
+// Gauss–Jordan with partial pivoting; false means B is singular.
+func (r *revised) ensureFactorized() bool {
+	if r.bs.binv != nil {
+		return true
+	}
+	m := r.m
+	// aug = [B | I], reduced in place to [I | B⁻¹].
+	aug := make([][]float64, m)
+	for i := range aug {
+		aug[i] = make([]float64, 2*m)
+		aug[i][m+i] = 1
+	}
+	for k, c := range r.bs.cols {
+		if c < 0 || c >= r.width {
+			return false
+		}
+		r.column(c, func(row int, coef float64) { aug[row][k] += coef })
+	}
+	for k := 0; k < m; k++ {
+		piv, pivAbs := -1, 1e-10
+		for i := k; i < m; i++ {
+			if a := math.Abs(aug[i][k]); a > pivAbs {
+				piv, pivAbs = i, a
+			}
+		}
+		if piv < 0 {
+			return false
+		}
+		aug[k], aug[piv] = aug[piv], aug[k]
+		inv := 1 / aug[k][k]
+		for j := k; j < 2*m; j++ {
+			aug[k][j] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == k || aug[i][k] == 0 {
+				continue
+			}
+			f := aug[i][k]
+			for j := k; j < 2*m; j++ {
+				aug[i][j] -= f * aug[k][j]
+			}
+		}
+	}
+	binv := make([][]float64, m)
+	for i := range binv {
+		binv[i] = aug[i][m : 2*m : 2*m]
+	}
+	r.bs.binv = binv
+	r.bs.etas = 0
+	return true
+}
+
+// computeXB refreshes x_B = B⁻¹·b.
+func (r *revised) computeXB() {
+	binv := r.bs.binv
+	for i := 0; i < r.m; i++ {
+		s := 0.0
+		for k := 0; k < r.m; k++ {
+			s += binv[i][k] * r.rhs[k]
+		}
+		r.xB[i] = s
+	}
+}
+
+// computeY refreshes y = c_Bᵀ·B⁻¹.
+func (r *revised) computeY() {
+	binv := r.bs.binv
+	for k := 0; k < r.m; k++ {
+		r.y[k] = 0
+	}
+	for i, c := range r.bs.cols {
+		cb := r.costOfCol(c)
+		if cb == 0 {
+			continue
+		}
+		row := binv[i]
+		for k := 0; k < r.m; k++ {
+			r.y[k] += cb * row[k]
+		}
+	}
+}
+
+// dualFeasible reports d_j ≥ −tol over every enterable nonbasic column.
+func (r *revised) dualFeasible() bool {
+	for j := 0; j < r.width; j++ {
+		if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
+			continue
+		}
+		if r.reducedCost(j) < -warmDualTol {
+			return false
+		}
+	}
+	return true
+}
+
+// primalFeasible reports x_B ≥ −tol.
+func (r *revised) primalFeasible() bool {
+	for _, v := range r.xB {
+		if v < -feasTol {
+			return false
+		}
+	}
+	return true
+}
+
+// budget mirrors the tableau's pivot limits.
+func (r *revised) budget() (maxPivots, blandAfter int) {
+	return 200 * (r.m + r.width + 10), 20 * (r.m + r.width + 10)
+}
+
+// pivotUpdate makes column enter basic in row leave, given u = B⁻¹·A_enter:
+// an eta update of B⁻¹ and x_B, with a periodic full refactorization to
+// flush accumulated roundoff. false means refactorization found B singular
+// (caller bails to cold).
+func (r *revised) pivotUpdate(leave, enter int, u []float64) bool {
+	r.pivots++
+	binv := r.bs.binv
+	inv := 1 / u[leave]
+	rowL := binv[leave]
+	for k := 0; k < r.m; k++ {
+		rowL[k] *= inv
+	}
+	t := r.xB[leave] * inv
+	for i := 0; i < r.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := u[i]
+		if f == 0 {
+			continue
+		}
+		ri := binv[i]
+		for k := 0; k < r.m; k++ {
+			ri[k] -= f * rowL[k]
+		}
+		r.xB[i] -= f * t
+	}
+	r.xB[leave] = t
+
+	r.inBasis[r.bs.cols[leave]] = false
+	r.inBasis[enter] = true
+	r.bs.cols[leave] = enter
+
+	r.bs.etas++
+	if r.bs.etas >= refactorEvery {
+		r.bs.binv = nil
+		if !r.ensureFactorized() {
+			return false
+		}
+		r.computeXB()
+	}
+	return true
+}
+
+// dualSimplex restores primal feasibility from a dual-feasible basis after
+// a right-hand-side change: pick a row with negative x_B, pick the entering
+// column by the dual ratio test (preserving d ≥ 0), pivot, repeat. No
+// admissible entering column proves primal infeasibility, with the Farkas
+// certificate read off the violated row of B⁻¹.
+func (r *revised) dualSimplex() warmStatus {
+	maxPivots, blandAfter := r.budget()
+	for iter := 0; ; iter++ {
+		if iter >= maxPivots {
+			return warmBail
+		}
+		bland := iter >= blandAfter
+
+		leave := -1
+		worst := -feasTol
+		for i, v := range r.xB {
+			if v < worst {
+				leave = i
+				if bland {
+					break // smallest violated row index wins
+				}
+				worst = v
+			}
+		}
+		if leave < 0 {
+			return warmOptimal
+		}
+
+		r.computeY()
+		rho := r.bs.binv[leave]
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < r.width; j++ {
+			if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
+				continue
+			}
+			w := r.colDot(rho, j)
+			if w >= -pivotTol {
+				continue
+			}
+			d := math.Max(r.reducedCost(j), 0)
+			ratio := d / -w
+			if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (enter < 0 || j < enter)) {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			// Row `leave` reads Σ_j w_j·x_j = x_B[leave] < 0 with w ≥ 0 over
+			// every enterable column: infeasible. f = −ρ is the certificate.
+			r.ray = make([]float64, r.m)
+			for k := 0; k < r.m; k++ {
+				r.ray[k] = -rho[k]
+			}
+			return warmInfeasible
+		}
+
+		u := make([]float64, r.m)
+		r.ftran(enter, u)
+		if math.Abs(u[leave]) <= pivotTol {
+			return warmBail // B⁻¹ too stale for this pivot
+		}
+		if !r.pivotUpdate(leave, enter, u) {
+			return warmBail
+		}
+	}
+}
+
+// primalSimplex re-optimizes from a primal-feasible basis after a cost
+// change: standard revised primal iterations with Dantzig pricing and a
+// Bland fallback.
+func (r *revised) primalSimplex() warmStatus {
+	maxPivots, blandAfter := r.budget()
+	u := make([]float64, r.m)
+	for iter := 0; ; iter++ {
+		if iter >= maxPivots {
+			return warmBail
+		}
+		bland := iter >= blandAfter
+
+		r.computeY()
+		enter := -1
+		best := -costTol
+		for j := 0; j < r.width; j++ {
+			if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
+				continue
+			}
+			d := r.reducedCost(j)
+			if d < best {
+				enter = j
+				if bland {
+					break
+				}
+				best = d
+			}
+		}
+		if enter < 0 {
+			return warmOptimal
+		}
+
+		r.ftran(enter, u)
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < r.m; i++ {
+			if u[i] <= pivotTol {
+				continue
+			}
+			ratio := r.xB[i] / u[i]
+			if ratio < bestRatio-1e-12 ||
+				(ratio < bestRatio+1e-12 && (leave < 0 || r.bs.cols[i] < r.bs.cols[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return warmUnbounded
+		}
+		if !r.pivotUpdate(leave, enter, u) {
+			return warmBail
+		}
+	}
+}
+
+// optimalSolution extracts primal values, objective and duals at the
+// current basis. Rows were never flipped, so duals come out already in the
+// caller's orientation.
+func (r *revised) optimalSolution() *Solution {
+	x := make([]float64, r.n)
+	obj := 0.0
+	for i, c := range r.bs.cols {
+		if c < r.n {
+			x[c] = r.xB[i]
+			obj += r.p.cost[c] * r.xB[i]
+		}
+	}
+	r.computeY()
+	dual := make([]float64, r.m)
+	copy(dual, r.y)
+	return &Solution{Status: Optimal, Obj: obj, X: x, Dual: dual, Pivots: r.pivots}
+}
+
+// verifyOptimal cross-checks a warm optimum the way the package tests do —
+// primal feasibility row by row and strong duality — so a numerically
+// degraded basis can never silently return a wrong answer; a failed check
+// sends the caller to the cold path.
+func (r *revised) verifyOptimal(sol *Solution) bool {
+	for _, row := range r.p.rows {
+		act, scale := 0.0, 1.0
+		for _, tm := range row.terms {
+			act += tm.Coef * sol.X[tm.Var]
+			if c := math.Abs(tm.Coef); c > scale {
+				scale = c
+			}
+		}
+		switch row.sense {
+		case LE:
+			if act > row.rhs+feasTol*scale*10 {
+				return false
+			}
+		case GE:
+			if act < row.rhs-feasTol*scale*10 {
+				return false
+			}
+		case EQ:
+			if math.Abs(act-row.rhs) > feasTol*scale*10 {
+				return false
+			}
+		}
+	}
+	dualObj := 0.0
+	for i, d := range sol.Dual {
+		dualObj += d * r.p.rows[i].rhs
+	}
+	return math.Abs(dualObj-sol.Obj) <= 1e-6*(1+math.Abs(sol.Obj))
+}
+
+// verifyRay checks the Farkas certificate exactly as callers will:
+// fᵀA ≤ 0 on every structural column, sense-consistent signs, f·b > 0.
+func (r *revised) verifyRay() bool {
+	rb := 0.0
+	for i, row := range r.p.rows {
+		f := r.ray[i]
+		switch row.sense {
+		case LE:
+			if f > 1e-7 {
+				return false
+			}
+		case GE:
+			if f < -1e-7 {
+				return false
+			}
+		}
+		rb += f * row.rhs
+	}
+	if rb <= 1e-9 {
+		return false
+	}
+	for j := 0; j < r.n; j++ {
+		agg := 0.0
+		for _, e := range r.cola[j] {
+			agg += r.ray[e.row] * e.coef
+		}
+		if agg > 1e-6 {
+			return false
+		}
+	}
+	return true
+}

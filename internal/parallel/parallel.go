@@ -1,0 +1,93 @@
+// Package parallel provides the bounded fork-join primitives the
+// experiment harnesses use to fan independent solver runs out over the
+// machine: a GOMAXPROCS-aware worker pool with deterministic, index-ordered
+// results.
+//
+// Determinism is structural rather than accidental: every task owns the
+// result slot of its own index, tasks share no state, and error selection
+// is by lowest index — so a sweep returns bit-identical output whether it
+// runs on 1 worker or 64. That property is what lets the figure/table
+// regeneration paths in internal/experiments go parallel without
+// perturbing any published number.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values ≤ 0 mean "one per
+// available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (≤ 0 means GOMAXPROCS) and returns when all calls have finished. Indices
+// are handed out in order through an atomic cursor, so scheduling is
+// work-stealing-free and allocation-free; fn must be safe for concurrent
+// invocation with distinct indices.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn for every index with bounded concurrency and returns the
+// results in index order; a fully successful sweep is deterministic at any
+// worker count. After the first failure the remaining un-started tasks are
+// skipped, so a sweep that dies on its first grid point does not grind
+// through the rest of the grid first; the lowest-index error among the
+// tasks that actually ran is returned alongside the partial results.
+// (Which later tasks got skipped — and therefore which error is lowest —
+// can depend on scheduling once a failure stops the drain.)
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	var failed atomic.Bool
+	ForEach(n, workers, func(i int) {
+		if failed.Load() {
+			return
+		}
+		out[i], errs[i] = fn(i)
+		if errs[i] != nil {
+			failed.Store(true)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 257
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	ForEach(64, 3, func(int) {
+		if cur := inFlight.Add(1); cur > peak.Load() {
+			peak.Store(cur)
+		}
+		defer inFlight.Add(-1)
+		for i := 0; i < 1000; i++ { // widen the overlap window
+			_ = i
+		}
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent tasks, want <= 3", p)
+	}
+}
+
+// TestMapDeterministicOrder: results land in index order independent of
+// worker count — the property the experiment sweeps rely on.
+func TestMapDeterministicOrder(t *testing.T) {
+	want := make([]int, 100)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got, err := Map(len(want), workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapFirstErrorByIndex: the reported error is the lowest failing
+// index's, not whichever goroutine lost the race.
+func TestMapFirstErrorByIndex(t *testing.T) {
+	sentinel := errors.New("boom-17")
+	_, err := Map(64, 8, func(i int) (int, error) {
+		if i == 17 || i == 40 {
+			return 0, fmt.Errorf("boom-%d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != sentinel.Error() {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("explicit count not honored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("defaulted count must be at least 1")
+	}
+}
