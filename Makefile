@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet fmt-check bench bench-smoke ci
+# Minimum total statement coverage `make cover` enforces. Measured 81.8%
+# when the floor was introduced; the floor leaves headroom for noise while
+# catching wholesale test deletions or big untested subsystems.
+COVER_FLOOR ?= 75
+
+.PHONY: build test test-race vet fmt-check bench bench-smoke fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -30,4 +35,17 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build vet fmt-check test-race bench-smoke
+# fuzz-smoke gives each native fuzz target a short budget; crashes found in
+# CI reproduce locally via the corpus file Go writes on failure.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeTopology -fuzztime 10s ./internal/topology
+
+# cover enforces the statement-coverage floor over the whole module.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total statement coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN{exit !(t>=f)}' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+ci: build vet fmt-check test-race cover fuzz-smoke bench-smoke

@@ -7,7 +7,7 @@
 //
 // doubles as the reproduction run. CI-sized parameter grids are used here;
 // cmd/simctl -full runs the full published scales. The per-experiment
-// index mapping benchmarks to paper artifacts lives in DESIGN.md §3, and
+// index mapping benchmarks to paper artifacts lives in DESIGN.md §4, and
 // paper-vs-measured outcomes are recorded in EXPERIMENTS.md.
 package repro
 

@@ -1,0 +1,157 @@
+// Command scenario drives the declarative workload engine from the command
+// line: list the built-in archetypes, run one under a seed, or fan a
+// multi-seed sweep out over the machine.
+//
+// Usage:
+//
+//	scenario list
+//	scenario run   -name flash-crowd -seed 42 [-epochs 48] [-tenants 12] [-algo benders] [-cold]
+//	scenario sweep -name sla-mix -seeds 8 [-workers 0] [-algo benders]
+//
+// Every archetype is runnable with any seed; identical (scenario, seed)
+// invocations print identical traces at any worker count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scenario: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "run":
+		run(os.Args[2:])
+	case "sweep":
+		sweep(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: scenario <list|run|sweep> [flags]")
+	os.Exit(2)
+}
+
+func list() {
+	fmt.Println("name\ttopology\ttenants\tepochs\tarrivals\tdescription")
+	for _, s := range scenario.Archetypes() {
+		fmt.Printf("%s\t%s(%d)\t%d\t%d\t%s\t%s\n",
+			s.Name, s.Topology, s.NBS, s.Tenants, s.Epochs, s.Arrivals.Kind, s.Description)
+	}
+}
+
+// specFlags applies the shared overrides and resolves the archetype.
+func specFlags(fs *flag.FlagSet, args []string) (scenario.Spec, *flag.FlagSet) {
+	name := fs.String("name", "homogeneous", "archetype name (see `scenario list`)")
+	epochs := fs.Int("epochs", 0, "override the archetype's epoch count")
+	tenants := fs.Int("tenants", 0, "override the archetype's tenant count")
+	nbs := fs.Int("nbs", -1, "override the topology scale (0 = full size)")
+	algo := fs.String("algo", "", "override the solver: direct | benders | kac | no-overbooking")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	spec, err := scenario.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *epochs > 0 {
+		spec.Epochs = *epochs
+	}
+	if *tenants > 0 {
+		spec.Tenants = *tenants
+	}
+	if *nbs >= 0 {
+		spec.NBS = *nbs
+	}
+	if *algo != "" {
+		spec.Algorithm = *algo
+	}
+	return spec, fs
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "scenario RNG seed")
+	cold := fs.Bool("cold", false, "disable cross-epoch solver state (identical decisions, slower)")
+	spec, _ := specFlags(fs, args)
+
+	cfg, err := spec.Compile(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.ColdSolver = *cold
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# scenario %s seed=%d topology=%s slices=%d algo=%s\n",
+		spec.Name, *seed, spec.Topology, len(cfg.Slices), cfg.Algorithm)
+	fmt.Println("epoch\taccepted\trevenue\texpected\tviolations\tdeficit_cost")
+	for _, es := range res.Epochs {
+		fmt.Printf("%d\t%d\t%.3f\t%.3f\t%d/%d\t%.2f\n",
+			es.Epoch, es.Accepted, es.Revenue, es.ExpectedRevenue, es.Violations, es.Samples, es.DeficitCost)
+	}
+	fmt.Printf("# total=%.3f steady_mean=%.3f violation_prob=%.6f mean_drop=%.4f\n",
+		res.TotalRevenue, res.MeanRevenue, res.ViolationProb, res.MeanDrop)
+}
+
+func sweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	seeds := fs.Int("seeds", 8, "number of seeds (0..n-1 offsets from -seed)")
+	seed := fs.Int64("seed", 42, "base seed")
+	workers := fs.Int("workers", 0, "worker pool bound (0 = GOMAXPROCS, 1 = serial)")
+	spec, _ := specFlags(fs, args)
+
+	ss := make([]int64, *seeds)
+	for i := range ss {
+		ss[i] = *seed + int64(i)
+	}
+	results, err := scenario.Sweep(spec, ss, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# scenario %s, %d seeds, algo=%s\n", spec.Name, len(ss), spec.Algorithm)
+	fmt.Println("seed\tsteady_mean\ttotal\tviolation_prob")
+	var means []float64
+	for i, r := range results {
+		fmt.Printf("%d\t%.3f\t%.3f\t%.6f\n", ss[i], r.MeanRevenue, r.TotalRevenue, r.ViolationProb)
+		means = append(means, r.MeanRevenue)
+	}
+	mean, se := meanStderr(means)
+	fmt.Printf("# steady_mean over seeds: %.3f ± %.3f (stderr)\n", mean, se)
+}
+
+// meanStderr returns the sample mean and its standard error — the paper's
+// §4.3 stopping rule reports results once this stderr is small.
+func meanStderr(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	ss := 0.0
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1) / float64(len(xs)))
+}

@@ -1,57 +1,41 @@
-// Urban overbooking: the Fig. 5 experiment in miniature. Ten eMBB tenants
-// request slices of a scaled Romanian metro network; their actual demand
-// averages only 30% of the SLA. The example contrasts the no-overbooking
-// baseline with the yield-driven policy and prints the revenue gain and
-// the SLA-violation footprint.
+// Urban overbooking: the Fig. 5 experiment in miniature, expressed as a
+// declarative scenario. Ten eMBB tenants request slices of a scaled
+// Romanian metro network; their actual demand averages only 30% of the
+// SLA. The example contrasts the no-overbooking baseline with the
+// yield-driven policy and prints the revenue gain and the SLA-violation
+// footprint.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/slice"
-	"repro/internal/topology"
 )
 
 func main() {
-	net := topology.Romanian(4) // scaled-down N1 (pass 0 for all 198 BSs)
-	tmpl := slice.Table1(slice.EMBB)
-
-	const (
-		tenants   = 10
-		alpha     = 0.3  // λ̄ = α·Λ
-		sigmaFrac = 0.25 // σ = 0.25·λ̄
-		epochs    = 20
-	)
-	var specs []sim.SliceSpec
-	for i := 0; i < tenants; i++ {
-		mean := alpha * tmpl.RateMbps
-		specs = append(specs, sim.SliceSpec{
-			Name:          fmt.Sprintf("embb%d", i+1),
-			Template:      tmpl.WithStd(sigmaFrac * mean),
-			PenaltyFactor: 1,
-			MeanMbps:      mean,
-			StdMbps:       sigmaFrac * mean,
-			Duration:      1 << 20,
-			Seed:          int64(i + 1),
-		})
+	spec := scenario.Spec{
+		Name:     "urban-overbooking",
+		Topology: "Romanian", NBS: 4, // scaled-down N1 (0 = all 198 BSs)
+		Tenants: 10, Epochs: 20, KPaths: 2,
+		Arrivals:       scenario.Arrivals{Kind: scenario.Batch},
+		Classes:        []scenario.Class{{Type: "eMBB", Alpha: 0.3, SigmaFrac: 0.25, Penalty: 1}},
+		ReofferPending: true,
 	}
 
-	run := func(a sim.Algorithm) *sim.Result {
-		res, err := sim.Run(sim.Config{
-			Net: net, Epochs: epochs, Slices: specs,
-			Algorithm: a, KPaths: 2, ReofferPending: true,
-		})
+	run := func(algo string) *sim.Result {
+		spec.Algorithm = algo
+		res, err := spec.Run(1)
 		if err != nil {
 			log.Fatal(err)
 		}
 		return res
 	}
+	base := run("no-overbooking")
+	over := run("direct")
 
-	base := run(sim.NoOverbooking)
-	over := run(sim.Direct)
-
+	net := base.Config.Net
 	fmt.Printf("topology: %s (%d BSs)\n", net.Name, net.NumBS())
 	fmt.Printf("no-overbooking steady revenue: %6.2f units/epoch (%d slices admitted)\n",
 		base.MeanRevenue, base.Epochs[len(base.Epochs)-1].Accepted)

@@ -334,6 +334,74 @@ func clampUnit(v float64) float64 {
 	return 0
 }
 
+// sameSolverShape reports whether two models produce identical solver
+// matrices, i.e. whether LP/MILP structures (and warm-start state: a carried
+// simplex basis, pooled Benders cut duals) built for prev may be re-bound to
+// next by rewriting only objective costs and affine right-hand-side metadata.
+//
+// This is the delta test behind the cross-epoch pipeline: consecutive sim
+// epochs usually differ only in forecasts (λ̂, σ̂, remaining lifetime), which
+// enter the objective coefficients and the affine RHS maps but never the
+// constraint matrix. The matrix is a function of
+//
+//   - the item enumeration (tenant, BS, CU, path) — changed by arrivals,
+//     departures, and commitment pinning;
+//   - each tenant's compute model sτ = {aτ, bτ} (capacity-row coefficients
+//     and row existence);
+//   - the topology, the path sets, ηe and the big-M deficit columns.
+//
+// Anything else — λ̂, σ̂, Λ-clamping, risk horizon, holding fraction,
+// overbooking mode — is cost/RHS-only and safe to rebind.
+func sameSolverShape(prev, next *model) bool {
+	if prev == nil || next == nil {
+		return false
+	}
+	a, b := prev.inst, next.inst
+	if a.Net != b.Net || a.EtaTransport != b.EtaTransport || a.BigM != b.BigM {
+		return false
+	}
+	if len(a.Tenants) != len(b.Tenants) || len(prev.items) != len(next.items) {
+		return false
+	}
+	if prev.nBS != next.nBS || prev.nCU != next.nCU {
+		return false
+	}
+	for ti := range a.Tenants {
+		if a.Tenants[ti].SLA.Compute != b.Tenants[ti].SLA.Compute {
+			return false
+		}
+	}
+	for idx := range prev.items {
+		pi, ni := &prev.items[idx], &next.items[idx]
+		if pi.tenant != ni.tenant || pi.bs != ni.bs || pi.cu != ni.cu ||
+			pi.path != ni.path || pi.lambda != ni.lambda {
+			return false
+		}
+	}
+	// The item enumeration encodes the delay-filtered path *indices*; make
+	// sure they index the same path sets (callers reuse one Paths slice
+	// across epochs, so backing-array identity is the cheap sufficient
+	// check — a rebuilt Paths forces a conservative cold rebuild).
+	if len(a.Paths) != len(b.Paths) {
+		return false
+	}
+	for bsi := range a.Paths {
+		if len(a.Paths[bsi]) != len(b.Paths[bsi]) {
+			return false
+		}
+		for cui := range a.Paths[bsi] {
+			pa, pb := a.Paths[bsi][cui], b.Paths[bsi][cui]
+			if len(pa) != len(pb) {
+				return false
+			}
+			if len(pa) > 0 && &pa[0] != &pb[0] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // DebugBuild exposes the monolithic MILP construction for profiling tools;
 // not part of the stable API.
 func DebugBuild(inst *Instance) (*lp.Problem, []int) {

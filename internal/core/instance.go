@@ -139,6 +139,21 @@ const DefaultRiskHorizon = 2
 // the reported Ψ, which remains the paper's expected-penalty-minus-reward.
 const DefaultHoldingFrac = 0.5
 
+// tieBreakBase is the total budget (in the paper's money units) of the
+// deterministic lexicographic tie-break perturbation added to the x
+// coefficients. The paper's objective Ψ is indifferent between placements
+// that only permute equivalent CUs, paths, or identical tenants; solvers
+// then pick an arbitrary optimum, and *which* one depends on search-path
+// details (cut order, branching) — exactly what must not leak into results
+// when the cross-epoch session reuses cuts a fresh solve would discover in
+// a different order. A strict preference for lower (tenant, CU, path)
+// indices makes the optimum generically unique, so every solver — direct,
+// fresh Benders, session Benders — lands on the same decision. The
+// perturbation is ≤ 0.1% of one reward unit per item, far below any real
+// economic trade-off, and is separated from solver tolerances by the
+// tightened default Benders epsilon below.
+const tieBreakBase = 1e-3
+
 // buildModel enumerates decision items and their objective coefficients.
 func buildModel(inst *Instance) (*model, error) {
 	if inst.EtaTransport == 0 {
@@ -243,6 +258,22 @@ func buildModel(inst *Instance) (*model, error) {
 			}
 			m.feasibleCU[ti][c] = ok
 		}
+	}
+
+	// Lexicographic tie-break (see tieBreakBase): admitting a higher
+	// (tenant, CU, path) slot costs infinitesimally more, so among
+	// objective-tied optima the lowest-index one is strictly preferred.
+	maxP := 1
+	for i := range m.items {
+		if m.items[i].path+1 > maxP {
+			maxP = m.items[i].path + 1
+		}
+	}
+	wMax := float64(len(inst.Tenants)*nCU*maxP + 1)
+	for i := range m.items {
+		it := &m.items[i]
+		w := float64((it.tenant*nCU+it.cu)*maxP + it.path + 1)
+		it.xCoef += tieBreakBase * w / wMax
 	}
 	return m, nil
 }

@@ -1,0 +1,95 @@
+package core
+
+// session.go carries Benders solver state ACROSS decision epochs. PR 1's
+// warm start lives inside one SolveBenders call (the slave re-enters from
+// the previous iteration's basis); a BendersSession extends the same idea to
+// the simulator's epoch loop, where consecutive AC-RR instances differ only
+// in forecasts unless slices arrived, departed, or got pinned by commitment.
+//
+// Three pieces of state survive an epoch boundary when sameSolverShape
+// certifies the solver matrices identical:
+//
+//   - the slave LP skeleton (no re-enumeration, no re-allocation);
+//   - the slave's simplex basis, so epoch t+1's first slave solve re-enters
+//     from epoch t's optimum via lp.Problem.SolveFrom (dual pivots after the
+//     RHS moved, primal pivots after the costs moved, verified cold
+//     fallback otherwise — the PR 1 safety contract);
+//   - the pool of dual vectors behind every cut discovered so far. Cuts are
+//     never carried as frozen inequalities: each epoch re-derives them from
+//     their duals against the current affine RHS maps, re-checks optimality
+//     duals against the current costs, and silently drops whatever expired.
+//     A carried cut is therefore always exactly the cut this epoch's solve
+//     would have produced from the same dual vector.
+//
+// When the shape check fails (arrival, departure, commitment pinning, a new
+// topology) the session cold-rebuilds everything, which is always correct —
+// the session never trades safety for speed.
+
+// maxSessionDuals bounds the carried cut pool. Old duals are evicted
+// first-in-first-out: steady-state epochs converge in a couple of rounds, so
+// the pool holds the recent active cuts, and a larger pool only slows the
+// master MILP down with slack rows.
+const maxSessionDuals = 64
+
+// sessionDual is one pooled dual vector: a dual extreme point (optimality
+// cut) or a Farkas extreme ray (feasibility cut) of the slave.
+type sessionDual struct {
+	ray bool
+	mu  []float64
+}
+
+// BendersSession is a reusable AC-RR solver that carries still-valid Benders
+// cuts and the slave simplex basis across Solve calls. The zero value is not
+// usable; call NewBendersSession. A session is not safe for concurrent use;
+// decisions are identical to a fresh SolveBenders on every call (the
+// cross-epoch state changes only the pivot/iteration path, never the
+// admission outcome — pinned by the sim warm/cold equality tests).
+type BendersSession struct {
+	opts  BendersOptions
+	model *model
+	slave *slaveProblem
+	duals []sessionDual
+	// prevX is the previous epoch's optimal master vector, evaluated first
+	// by the next solve (incumbent short-circuit): one warm slave solve
+	// turns it into an upper bound plus a tight cut, and the first master
+	// solve usually proves it optimal outright.
+	prevX []float64
+}
+
+// NewBendersSession returns an empty session; the first Solve cold-builds.
+func NewBendersSession(opts BendersOptions) *BendersSession {
+	return &BendersSession{opts: opts.withDefaults()}
+}
+
+// Solve runs Algorithm 1 on the instance, re-entering from the previous
+// call's solver state whenever the instance differs from the previous one
+// only in costs and right-hand sides (forecast drift), and cold-rebuilding
+// whenever the decision structure changed (arrivals, departures, pinning).
+func (s *BendersSession) Solve(inst *Instance) (*Decision, error) {
+	m, err := buildModel(inst)
+	if err != nil {
+		return nil, err
+	}
+	if s.slave != nil && sameSolverShape(s.model, m) {
+		s.slave.refresh(m)
+	} else {
+		s.slave = m.buildSlave()
+		s.duals = s.duals[:0]
+		s.prevX = s.prevX[:0]
+	}
+	s.model = m
+	return bendersSolve(m, s.slave, s.opts, s)
+}
+
+// CarriedCuts reports the current cut-pool size (diagnostics and tests).
+func (s *BendersSession) CarriedCuts() int { return len(s.duals) }
+
+// remember pools a freshly discovered dual vector, evicting the oldest
+// entries beyond the pool bound.
+func (s *BendersSession) remember(ray bool, mu []float64) {
+	s.duals = append(s.duals, sessionDual{ray: ray, mu: append([]float64(nil), mu...)})
+	if n := len(s.duals); n > maxSessionDuals {
+		copy(s.duals, s.duals[n-maxSessionDuals:])
+		s.duals = s.duals[:maxSessionDuals]
+	}
+}

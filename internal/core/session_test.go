@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/slice"
+	"repro/internal/topology"
+)
+
+// epochSequence mimics the simulator's steady state: the same tenant set
+// re-decided over several epochs with drifting forecasts and, midway, one
+// tenant becoming committed (a solver-shape change forcing a cold rebuild).
+func epochSequence() []*Instance {
+	net := topology.Testbed()
+	paths := net.Paths(3)
+	mk := func(lh1, s1, lh2, s2 float64, committed bool) *Instance {
+		t1 := embbTenant("e1", lh1, s1, 1, 6)
+		t2 := embbTenant("e2", lh2, s2, 1, 4)
+		if committed {
+			t1.Committed = true
+			t1.CommittedCU = 0
+		}
+		return &Instance{
+			Net: net, Paths: paths,
+			Tenants:  []TenantSpec{t1, t2},
+			Overbook: true, BigM: defaultBigM,
+		}
+	}
+	return []*Instance{
+		mk(50, 1, 50, 1, false),       // cold start: no history, full-SLA forecasts
+		mk(22, 0.4, 31, 0.5, false),   // forecasts arrive (cost + RHS drift only)
+		mk(20, 0.3, 28, 0.35, false),  // more drift
+		mk(19, 0.25, 27, 0.3, true),   // e1 pinned: shape change, cold rebuild
+		mk(18.5, 0.2, 26, 0.25, true), // steady state resumes on the new shape
+		mk(18, 0.18, 25, 0.2, true),
+	}
+}
+
+// TestSessionMatchesFreshSolves is the cross-epoch acceptance gate: a
+// session carrying cuts and the slave basis across instances must land on
+// the same admission decisions and objective as a fresh SolveBenders (and
+// the exact monolithic MILP) on every epoch of the sequence.
+func TestSessionMatchesFreshSolves(t *testing.T) {
+	sess := NewBendersSession(BendersOptions{})
+	for e, inst := range epochSequence() {
+		fresh, err := SolveBenders(inst, BendersOptions{})
+		if err != nil {
+			t.Fatalf("epoch %d fresh: %v", e, err)
+		}
+		carried, err := sess.Solve(inst)
+		if err != nil {
+			t.Fatalf("epoch %d session: %v", e, err)
+		}
+		compareDecisions(t, "epoch", fresh, carried)
+		exact, err := SolveDirect(inst)
+		if err != nil {
+			t.Fatalf("epoch %d direct: %v", e, err)
+		}
+		compareDecisions(t, "epoch-vs-direct", exact, carried)
+		if _, err := Verify(inst, carried); err != nil {
+			t.Errorf("epoch %d: session decision infeasible: %v", e, err)
+		}
+	}
+}
+
+// TestSessionCarriesAndDropsCuts pins the pool mechanics: cuts accumulate
+// over same-shape epochs, and a shape change (commitment pinning) flushes
+// the pool before the cold rebuild.
+func TestSessionCarriesAndDropsCuts(t *testing.T) {
+	seq := epochSequence()
+	sess := NewBendersSession(BendersOptions{})
+	if _, err := sess.Solve(seq[0]); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := sess.CarriedCuts()
+	if afterFirst == 0 {
+		t.Fatal("first solve pooled no cuts")
+	}
+	d, err := sess.Solve(seq[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.CarriedCuts() < afterFirst {
+		t.Errorf("same-shape epoch shrank the pool: %d -> %d (want monotone growth modulo expiry)",
+			afterFirst, sess.CarriedCuts())
+	}
+	if d.Iterations <= 0 {
+		t.Fatal("no iterations recorded")
+	}
+	prevPool := sess.CarriedCuts()
+	if _, err := sess.Solve(seq[3]); err != nil { // committed: shape change
+		t.Fatal(err)
+	}
+	if sess.CarriedCuts() >= prevPool+afterFirst {
+		t.Errorf("shape change did not flush the pool: %d cuts after rebuild", sess.CarriedCuts())
+	}
+}
+
+// TestSessionFeasibilityCutsCarry drives the session through repeated
+// overload epochs (slave infeasible, Farkas rays) to cover ray re-derivation.
+func TestSessionFeasibilityCutsCarry(t *testing.T) {
+	net := topology.Testbed()
+	paths := net.Paths(3)
+	mk := func(lh float64) *Instance {
+		var ts []TenantSpec
+		for i := 0; i < 5; i++ {
+			ts = append(ts, typedTenant("m", slice.MMTC, lh, 0.2, 1, 4))
+		}
+		return &Instance{Net: net, Paths: paths, Tenants: ts, Overbook: true, BigM: 0}
+	}
+	sess := NewBendersSession(BendersOptions{})
+	for e, lh := range []float64{8, 7.5, 7} {
+		fresh, err := SolveBenders(mk(lh), BendersOptions{})
+		if err != nil {
+			t.Fatalf("epoch %d fresh: %v", e, err)
+		}
+		carried, err := sess.Solve(mk(lh))
+		if err != nil {
+			t.Fatalf("epoch %d session: %v", e, err)
+		}
+		compareDecisions(t, "overload-epoch", fresh, carried)
+	}
+}
+
+// TestSameSolverShape exercises the delta test directly.
+func TestSameSolverShape(t *testing.T) {
+	seq := epochSequence()
+	m0, err := buildModel(seq[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := buildModel(seq[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSolverShape(m0, m1) {
+		t.Error("forecast-only drift must preserve the solver shape")
+	}
+	m3, err := buildModel(seq[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameSolverShape(m1, m3) {
+		t.Error("commitment pinning must change the solver shape")
+	}
+	if sameSolverShape(nil, m1) || sameSolverShape(m1, nil) {
+		t.Error("nil models never share a shape")
+	}
+	// A departed tenant changes the shape.
+	short := &Instance{Net: seq[0].Net, Paths: seq[0].Paths,
+		Tenants: seq[0].Tenants[:1], Overbook: true, BigM: defaultBigM}
+	ms, err := buildModel(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameSolverShape(m0, ms) {
+		t.Error("departure must change the solver shape")
+	}
+}

@@ -1,0 +1,123 @@
+package ctrlplane
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// managerSlices reads the tenant-facing slice listing (SliceManager →
+// Orchestrator proxy path), returning states by name.
+func managerSlices(t *testing.T, s *stack) map[string]SliceStatus {
+	t.Helper()
+	resp, err := http.Get(s.mgr.URL + "/slices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manager /slices: %s", resp.Status)
+	}
+	var sts []SliceStatus
+	if err := json.NewDecoder(resp.Body).Decode(&sts); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]SliceStatus{}
+	for _, st := range sts {
+		out[st.Name] = st
+	}
+	return out
+}
+
+// TestLifecycleAdmitRejectExpire walks one slice population through the
+// full control-plane lifecycle over loopback HTTP — SliceManager →
+// Orchestrator → all three domain controllers — and checks every state
+// transition and its data-plane footprint:
+//
+//	pending → active → expired   (admitted slice, resources torn down)
+//	pending → rejected           (capacity exhausted, nothing programmed)
+//
+// The no-overbooking solver makes admission arithmetic exact: one full
+// mMTC reservation needs 2 BS × 10 Mb/s × 2 cores/Mbps = 40 cores, which
+// only the 64-core core cloud can host (the edge CU has 16), and only
+// once — so of four requests exactly one is admitted and three are
+// rejected.
+func TestLifecycleAdmitRejectExpire(t *testing.T) {
+	s := newStack(t, "no-overbooking")
+
+	// Epoch 0: the first admission fills the core cloud; the rest are
+	// turned away.
+	for i := 0; i < 4; i++ {
+		req := SliceRequest{Name: names[i], Type: "mMTC", DurationEpochs: 2, PenaltyFactor: 1}
+		if resp := s.submit(t, req); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: %s", names[i], resp.Status)
+		}
+	}
+	rep := s.epoch(t)
+	if len(rep.Accepted) != 1 || len(rep.Rejected) != 3 {
+		t.Fatalf("epoch 0: accepted=%v rejected=%v", rep.Accepted, rep.Rejected)
+	}
+
+	sts := managerSlices(t, s)
+	active, rejected := 0, ""
+	for name, st := range sts {
+		switch st.State {
+		case "active":
+			active++
+			if st.CU < 0 || len(st.Reserved) == 0 {
+				t.Errorf("%s active without placement: %+v", name, st)
+			}
+			// Full mMTC SLA: 10 Mb/s per BS, no overbooking.
+			for _, z := range st.Reserved {
+				if z < 9.99 {
+					t.Errorf("%s reserved %v, want full 10 Mb/s", name, z)
+				}
+			}
+		case "rejected":
+			rejected = name
+		default:
+			t.Errorf("%s in unexpected state %q", name, st.State)
+		}
+	}
+	if active != 1 || rejected == "" {
+		t.Fatalf("states after epoch 0: %+v", sts)
+	}
+	// A rejected slice must leave no data-plane footprint.
+	if s.dp.Radios[0].Share(rejected) != 0 || len(s.dp.Fabric.Rules(rejected)) != 0 {
+		t.Errorf("rejected slice %s left data-plane state", rejected)
+	}
+
+	// Epoch 1 expires the 2-epoch slice and tears its resources down.
+	rep = s.epoch(t)
+	if len(rep.Expired) != 1 {
+		t.Fatalf("epoch 1: expired=%v, want the active slice", rep.Expired)
+	}
+	sts = managerSlices(t, s)
+	for _, name := range rep.Expired {
+		if sts[name].State != "expired" {
+			t.Errorf("%s state %q after expiry", name, sts[name].State)
+		}
+		if s.dp.Radios[0].Share(name) != 0 || len(s.dp.Fabric.Rules(name)) != 0 ||
+			s.dp.CUs[0].Pinned(name)+s.dp.CUs[1].Pinned(name) != 0 {
+			t.Errorf("expired slice %s left data-plane state behind", name)
+		}
+	}
+
+	// The freed capacity admits a late arrival end to end.
+	if resp := s.submit(t, SliceRequest{Name: "late", Type: "mMTC", DurationEpochs: 3, PenaltyFactor: 1}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("late submit: %s", resp.Status)
+	}
+	rep = s.epoch(t)
+	found := false
+	for _, n := range rep.Accepted {
+		if n == "late" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("late arrival not admitted into freed capacity: %+v", rep)
+	}
+	if s.dp.CUs[0].Pinned("late")+s.dp.CUs[1].Pinned("late") <= 0 {
+		t.Error("late slice admitted but no stack deployed")
+	}
+}

@@ -3,7 +3,7 @@
 // artifact and knows how to print them in a gnuplot/CSV-friendly layout;
 // the top-level benchmarks and the cmd/simctl & cmd/testbed binaries are
 // thin wrappers around these functions. The per-experiment index lives in
-// DESIGN.md §3; paper-vs-measured outcomes are recorded in EXPERIMENTS.md.
+// DESIGN.md §4; paper-vs-measured outcomes are recorded in EXPERIMENTS.md.
 package experiments
 
 import (

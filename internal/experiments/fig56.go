@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/parallel"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/slice"
 	"repro/internal/topology"
@@ -14,30 +15,23 @@ import (
 var TopologyNames = []string{"Romanian", "Swiss", "Italian"}
 
 // BuildTopology instantiates one of the three operator networks at the
-// requested scale (0 = full published size).
+// requested scale (0 = full published size); it panics on unknown names
+// because every caller passes a compile-time constant.
 func BuildTopology(name string, nBS int) *topology.Network {
-	switch name {
-	case "Romanian":
-		return topology.Romanian(nBS)
-	case "Swiss":
-		return topology.Swiss(nBS)
-	case "Italian":
-		return topology.Italian(nBS)
+	net, err := scenario.BuildTopology(name, nBS)
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
-	panic("experiments: unknown topology " + name)
+	return net
 }
 
 // sliceTypeByName resolves the Table 1 templates.
 func sliceTypeByName(name string) slice.Type {
-	switch name {
-	case "eMBB":
-		return slice.EMBB
-	case "mMTC":
-		return slice.MMTC
-	case "uRLLC":
-		return slice.URLLC
+	ty, err := scenario.SliceTypeByName(name)
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
-	panic("experiments: unknown slice type " + name)
+	return ty
 }
 
 // Fig5Config controls the homogeneous-scenario sweep. The defaults are a
@@ -108,28 +102,11 @@ type Fig5Point struct {
 	MeanDrop        float64
 }
 
-// homogeneousSpecs builds n identical requests of one type.
+// homogeneousSpecs builds n identical requests of one type; the population
+// construction lives in the scenario engine (scenario.HomogeneousSpecs)
+// and is shared with `scenario run`.
 func homogeneousSpecs(ty slice.Type, n int, alpha, sigmaFrac, m float64, seed int64) []sim.SliceSpec {
-	tmpl := slice.Table1(ty)
-	mean := alpha * tmpl.RateMbps
-	specs := make([]sim.SliceSpec, n)
-	for i := range specs {
-		std := sigmaFrac * mean
-		if ty == slice.MMTC {
-			std = 0 // Table 1: mMTC load is deterministic
-		}
-		specs[i] = sim.SliceSpec{
-			Name:          fmt.Sprintf("%s%d", ty, i+1),
-			Template:      tmpl.WithStd(std),
-			PenaltyFactor: m,
-			MeanMbps:      mean,
-			StdMbps:       std,
-			ArrivalEpoch:  0,
-			Duration:      1 << 20, // effectively the whole run, as in §4.3.2
-			Seed:          seed + int64(i)*7 + 1,
-		}
-	}
-	return specs
+	return scenario.HomogeneousSpecs(ty, n, alpha, sigmaFrac, m, seed)
 }
 
 // fig5Combo is one point of the Fig. 5 parameter grid.

@@ -150,6 +150,15 @@ func (p *Problem) SetRHS(i int, rhs float64) { p.rows[i].rhs = rhs }
 // RHS returns the right-hand side of row i.
 func (p *Problem) RHS(i int) float64 { return p.rows[i].rhs }
 
+// RowSense returns the sense of row i.
+func (p *Problem) RowSense(i int) Sense { return p.rows[i].sense }
+
+// RowTerms returns the terms of row i. The returned slice is the problem's
+// backing storage; callers must treat it as read-only. It exists so callers
+// holding a dual vector from an earlier solve (the Benders cut pool) can
+// check it against the current costs without rebuilding the matrix.
+func (p *Problem) RowTerms(i int) []Term { return p.rows[i].terms }
+
 // Clone returns a deep copy of the problem, sharing nothing with p.
 func (p *Problem) Clone() *Problem {
 	q := &Problem{

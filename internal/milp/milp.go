@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/lp"
 )
@@ -148,8 +149,17 @@ func Solve(p *lp.Problem, binaries []int, opts Options) (*Solution, error) {
 		sol.Nodes++
 
 		lpNode := root.Clone()
-		for v, val := range nd.fixed {
-			lpNode.AddConstraint(lp.EQ, val, lp.T(v, 1))
+		// Fixing rows are added in sorted variable order: nd.fixed is a map,
+		// and letting its iteration order pick the row order would make the
+		// node LP's pivot path — and with it tie resolution and worst-case
+		// pivot counts — vary between runs of the same problem.
+		fixedVars := make([]int, 0, len(nd.fixed))
+		for v := range nd.fixed {
+			fixedVars = append(fixedVars, v)
+		}
+		sort.Ints(fixedVars)
+		for _, v := range fixedVars {
+			lpNode.AddConstraint(lp.EQ, nd.fixed[v], lp.T(v, 1))
 		}
 		res, err := lpNode.Solve()
 		if err != nil {

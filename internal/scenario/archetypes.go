@@ -1,0 +1,75 @@
+package scenario
+
+import "fmt"
+
+// Archetypes returns the built-in scenario suite: one Spec per workload
+// family the system must handle, all runnable from `scenario run` with any
+// seed and all covered by the warm/cold equality and determinism tests.
+// EXPERIMENTS.md maps each archetype to the paper artifact it generalizes.
+func Archetypes() []Spec {
+	return []Spec{
+		{
+			Name:        "homogeneous",
+			Description: "Fig. 5 point: identical Gaussian eMBB tenants, batch arrival, λ̄=0.3Λ σ=0.25λ̄ m=1",
+			Topology:    "Romanian", NBS: 4,
+			Tenants: 8, Epochs: 24,
+			Arrivals:  Arrivals{Kind: Batch},
+			Classes:   []Class{{Type: "eMBB", Alpha: 0.3, SigmaFrac: 0.25, Penalty: 1}},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
+			Name:        "diurnal",
+			Description: "Fig. 8 day shape: seasonal load tracked by the Holt-Winters forecaster on the testbed",
+			Topology:    "Testbed",
+			Tenants:     3, Epochs: 36, HWPeriod: 12,
+			Arrivals:  Arrivals{Kind: Batch},
+			Classes:   []Class{{Type: "uRLLC", Alpha: 0.5, SigmaFrac: 0.2, Penalty: 1, Shape: "diurnal"}},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
+			Name:        "flash-crowd",
+			Description: "Poisson eMBB background plus a spike of short-lived uRLLC slices at epoch 8",
+			Topology:    "Romanian", NBS: 4,
+			Tenants: 5, Epochs: 24,
+			Arrivals: Arrivals{Kind: FlashCrowd, RatePerEpoch: 0.5,
+				SpikeEpoch: 8, SpikeSize: 4, SpikeDuration: 3, SpikeClass: "crowd"},
+			Classes: []Class{
+				{Name: "bg", Type: "eMBB", Alpha: 0.3, SigmaFrac: 0.25, Penalty: 1},
+				{Name: "crowd", Type: "uRLLC", Alpha: 0.6, SigmaFrac: 0.3, Penalty: 4},
+			},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
+			Name:        "sla-mix",
+			Description: "Fig. 6 generalization: elastic eMBB (m=1) vs inelastic uRLLC (m=16) vs deterministic mMTC",
+			Topology:    "Swiss", NBS: 4,
+			Tenants: 9, Epochs: 24,
+			Arrivals: Arrivals{Kind: Bursty, BurstSize: 3, BurstPeriod: 2},
+			Classes: []Class{
+				{Name: "elastic", Type: "eMBB", Weight: 1, Alpha: 0.25, SigmaFrac: 0.25, Penalty: 1},
+				{Name: "strict", Type: "uRLLC", Weight: 1, Alpha: 0.5, SigmaFrac: 0.25, Penalty: 16},
+				{Name: "iot", Type: "mMTC", Weight: 1, Alpha: 0.2, Penalty: 4},
+			},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
+			Name:        "heavy-tail",
+			Description: "log-normal demand: rare far-above-mean peaks stress peak forecasting and the risk term",
+			Topology:    "Italian", NBS: 4,
+			Tenants: 6, Epochs: 24,
+			Arrivals:  Arrivals{Kind: Poisson, RatePerEpoch: 1},
+			Classes:   []Class{{Type: "eMBB", Alpha: 0.25, SigmaFrac: 0.5, Penalty: 2, Shape: "heavy-tail"}},
+			Algorithm: "benders", ReofferPending: true,
+		},
+	}
+}
+
+// ByName resolves an archetype.
+func ByName(name string) (Spec, error) {
+	for _, s := range Archetypes() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown archetype %q (run `scenario list`)", name)
+}

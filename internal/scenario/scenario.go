@@ -1,0 +1,493 @@
+// Package scenario is the declarative workload engine: a Spec names a
+// topology, an arrival process, and a mix of SLA classes, and Compile turns
+// it — fully seeded and reproducibly — into the sim.Config the epoch
+// pipeline executes. It replaces the ad-hoc slice-list construction that
+// used to be duplicated across internal/experiments/fig*.go and examples/,
+// and it is the substrate new workloads plug into: a scenario is data, so a
+// new traffic pattern is a Spec literal, not a new harness.
+//
+// The paper's evaluation (§4.3) draws every result from sweeps over
+// scenario families — homogeneous Gaussian grids (Fig. 5), heterogeneous
+// mixes (Fig. 6), the diurnal testbed day (Fig. 8). Archetypes() exposes
+// those plus the workloads the paper motivates but never simulates
+// (flash crowds, heavy-tailed demand); `scenario run` in cmd/ drives any of
+// them from the command line.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/slice"
+	"repro/internal/topology"
+)
+
+// ArrivalKind selects the arrival process of a Spec.
+type ArrivalKind int
+
+// Arrival processes.
+const (
+	// Batch offers every tenant at Arrivals.Epoch (the Fig. 5/6
+	// steady-state methodology).
+	Batch ArrivalKind = iota
+	// Poisson draws the number of new tenants per epoch from a Poisson
+	// distribution with mean RatePerEpoch.
+	Poisson
+	// Bursty releases BurstSize tenants every BurstPeriod epochs (on/off
+	// batching).
+	Bursty
+	// FlashCrowd overlays a Poisson background with SpikeSize extra
+	// short-lived tenants arriving together at SpikeEpoch.
+	FlashCrowd
+)
+
+// String names the arrival kind.
+func (k ArrivalKind) String() string {
+	switch k {
+	case Batch:
+		return "batch"
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	case FlashCrowd:
+		return "flash-crowd"
+	}
+	return fmt.Sprintf("ArrivalKind(%d)", int(k))
+}
+
+// Arrivals describes when tenants appear.
+type Arrivals struct {
+	Kind ArrivalKind
+	// Epoch is the batch arrival epoch (Batch only).
+	Epoch int
+	// RatePerEpoch is the Poisson mean (Poisson, FlashCrowd background).
+	RatePerEpoch float64
+	// BurstSize/BurstPeriod shape the Bursty process.
+	BurstSize   int
+	BurstPeriod int
+	// SpikeEpoch/SpikeSize/SpikeDuration shape the FlashCrowd spike; spike
+	// tenants arrive on top of Spec.Tenants and live SpikeDuration epochs.
+	SpikeEpoch    int
+	SpikeSize     int
+	SpikeDuration int
+	// SpikeClass names the Class spike tenants belong to. When set, that
+	// class is reserved for the spike: background tenants are dealt over
+	// the remaining classes only. Empty means spike tenants are dealt like
+	// everyone else.
+	SpikeClass string
+}
+
+// Class is one SLA-class population within a scenario: the slice template,
+// its commercial terms, and its true load process. Elastic classes (low
+// penalty m) tolerate overbooking aggressively; inelastic ones (high m)
+// force near-full reservations — mixing them is the §4.3.4 heterogeneous
+// setting.
+type Class struct {
+	Name      string
+	Type      string  // "eMBB" | "mMTC" | "uRLLC"
+	Weight    float64 // relative share of the tenant population; default 1
+	Alpha     float64 // λ̄ = α·Λ
+	SigmaFrac float64 // σ = SigmaFrac·λ̄ (forced 0 for mMTC, as in Table 1)
+	Penalty   float64 // m, K = m·R; default 1
+	Shape     string  // "gaussian" (default) | "diurnal" | "heavy-tail"
+	// Duration overrides the slice lifetime in epochs; 0 = whole run.
+	Duration int
+}
+
+// Spec is a complete declarative scenario.
+type Spec struct {
+	Name        string
+	Description string
+
+	Topology string // "Romanian" | "Swiss" | "Italian" | "Testbed"
+	NBS      int    // operator-topology scale; 0 = full published size
+
+	Tenants  int // base tenant count (flash-crowd spikes add to it)
+	Epochs   int
+	Arrivals Arrivals
+	Classes  []Class
+
+	Algorithm       string // "direct" | "benders" | "kac" | "no-overbooking"
+	KPaths          int
+	SamplesPerEpoch int
+	HWPeriod        int
+	ReofferPending  bool
+	ForecastPad     float64
+}
+
+// BuildTopology instantiates a named operator network at the requested
+// scale (0 = full published size).
+func BuildTopology(name string, nBS int) (*topology.Network, error) {
+	switch name {
+	case "Romanian":
+		return topology.Romanian(nBS), nil
+	case "Swiss":
+		return topology.Swiss(nBS), nil
+	case "Italian":
+		return topology.Italian(nBS), nil
+	case "Testbed":
+		return topology.Testbed(), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown topology %q", name)
+}
+
+// SliceTypeByName resolves the Table 1 template names.
+func SliceTypeByName(name string) (slice.Type, error) {
+	switch name {
+	case "eMBB":
+		return slice.EMBB, nil
+	case "mMTC":
+		return slice.MMTC, nil
+	case "uRLLC":
+		return slice.URLLC, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown slice type %q", name)
+}
+
+// ParseAlgorithm resolves a solver name.
+func ParseAlgorithm(name string) (sim.Algorithm, error) {
+	switch name {
+	case "", "direct":
+		return sim.Direct, nil
+	case "benders":
+		return sim.Benders, nil
+	case "kac":
+		return sim.KAC, nil
+	case "no-overbooking":
+		return sim.NoOverbooking, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown algorithm %q (want direct, benders, kac or no-overbooking)", name)
+}
+
+func parseShape(name string) (sim.LoadShape, error) {
+	switch name {
+	case "", "gaussian":
+		return sim.ShapeGaussian, nil
+	case "diurnal":
+		return sim.ShapeDiurnal, nil
+	case "heavy-tail":
+		return sim.ShapeHeavyTail, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown load shape %q", name)
+}
+
+// HomogeneousSpecs builds n identical batch-arrival requests of one type —
+// the Fig. 5 population — with the per-tenant seed derivation the figure
+// harnesses have always used, so refactoring experiments onto the scenario
+// engine cannot drift the published artifacts (pinned by the golden tests).
+func HomogeneousSpecs(ty slice.Type, n int, alpha, sigmaFrac, m float64, seed int64) []sim.SliceSpec {
+	tmpl := slice.Table1(ty)
+	mean := alpha * tmpl.RateMbps
+	specs := make([]sim.SliceSpec, n)
+	for i := range specs {
+		std := sigmaFrac * mean
+		if ty == slice.MMTC {
+			std = 0 // Table 1: mMTC load is deterministic
+		}
+		specs[i] = sim.SliceSpec{
+			Name:          fmt.Sprintf("%s%d", ty, i+1),
+			Template:      tmpl.WithStd(std),
+			PenaltyFactor: m,
+			MeanMbps:      mean,
+			StdMbps:       std,
+			ArrivalEpoch:  0,
+			Duration:      1 << 20, // effectively the whole run, as in §4.3.2
+			Seed:          seed + int64(i)*7 + 1,
+		}
+	}
+	return specs
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Epochs == 0 {
+		s.Epochs = 24
+	}
+	if s.Tenants == 0 {
+		s.Tenants = 8
+	}
+	if s.KPaths == 0 {
+		s.KPaths = 2
+	}
+	return s
+}
+
+// arrival is one planned tenant appearance.
+type arrival struct {
+	epoch    int
+	duration int  // 0 = whole run
+	spike    bool // flash-crowd spike member (assigned to Arrivals.SpikeClass)
+}
+
+// planArrivals expands the arrival process into one entry per tenant,
+// deterministically from the scenario RNG.
+func (s Spec) planArrivals(rng *rand.Rand) ([]arrival, error) {
+	a := s.Arrivals
+	var out []arrival
+	switch a.Kind {
+	case Batch:
+		for i := 0; i < s.Tenants; i++ {
+			out = append(out, arrival{epoch: a.Epoch})
+		}
+	case Poisson:
+		if a.RatePerEpoch <= 0 {
+			return nil, fmt.Errorf("scenario %s: poisson arrivals need RatePerEpoch > 0", s.Name)
+		}
+		for t := 0; t < s.Epochs && len(out) < s.Tenants; t++ {
+			for k := poissonDraw(rng, a.RatePerEpoch); k > 0 && len(out) < s.Tenants; k-- {
+				out = append(out, arrival{epoch: t})
+			}
+		}
+		// Whoever the process never released still joins on the last epoch's
+		// queue if re-offering is on; otherwise they simply never appear.
+		for len(out) < s.Tenants {
+			out = append(out, arrival{epoch: s.Epochs - 1})
+		}
+	case Bursty:
+		period := a.BurstPeriod
+		if period <= 0 {
+			period = 4
+		}
+		size := a.BurstSize
+		if size <= 0 {
+			size = 2
+		}
+		for t := 0; t < s.Epochs && len(out) < s.Tenants; t += period {
+			for k := 0; k < size && len(out) < s.Tenants; k++ {
+				out = append(out, arrival{epoch: t})
+			}
+		}
+		// Tenants the burst schedule never released within the horizon join
+		// the final epoch's queue, like the Poisson tail above — never
+		// folded back onto earlier epochs, which would silently inflate a
+		// burst beyond its declared size.
+		for len(out) < s.Tenants {
+			out = append(out, arrival{epoch: s.Epochs - 1})
+		}
+	case FlashCrowd:
+		rate := a.RatePerEpoch
+		if rate <= 0 {
+			rate = 0.5
+		}
+		for t := 0; t < s.Epochs && len(out) < s.Tenants; t++ {
+			for k := poissonDraw(rng, rate); k > 0 && len(out) < s.Tenants; k-- {
+				out = append(out, arrival{epoch: t})
+			}
+		}
+		for len(out) < s.Tenants {
+			out = append(out, arrival{epoch: s.Epochs - 1})
+		}
+		spikeDur := a.SpikeDuration
+		if spikeDur <= 0 {
+			spikeDur = 3
+		}
+		for k := 0; k < a.SpikeSize; k++ {
+			out = append(out, arrival{epoch: a.SpikeEpoch, duration: spikeDur, spike: true})
+		}
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown arrival kind %v", s.Name, a.Kind)
+	}
+	return out, nil
+}
+
+// poissonDraw samples Poisson(rate) by Knuth's product method (rate is
+// small in every scenario, so the O(rate) loop is fine).
+func poissonDraw(rng *rand.Rand, rate float64) int {
+	l := math.Exp(-rate)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// label is the class's display/grouping name.
+func (c Class) label() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return c.Type
+}
+
+// classSlots deals n tenants to classes by weight (largest remainder),
+// skipping the excluded class index (a spike-reserved class, -1 for none),
+// then shuffles the slot order with the scenario RNG so arrival order mixes
+// classes instead of clustering them.
+func (s Spec) classSlots(n, exclude int, rng *rand.Rand) ([]int, error) {
+	w := make([]float64, len(s.Classes))
+	total := 0.0
+	for i, c := range s.Classes {
+		if i == exclude {
+			continue
+		}
+		w[i] = c.Weight
+		if w[i] <= 0 {
+			w[i] = 1
+		}
+		total += w[i]
+	}
+	if total == 0 {
+		if n == 0 {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("scenario %s: no class left for background tenants", s.Name)
+	}
+	counts := make([]int, len(w))
+	assigned := 0
+	rems := make([]float64, len(w))
+	for i := range w {
+		exact := float64(n) * w[i] / total
+		counts[i] = int(exact)
+		rems[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < n {
+		best := -1
+		for i := range rems {
+			if w[i] > 0 && (best < 0 || rems[i] > rems[best]) {
+				best = i
+			}
+		}
+		counts[best]++
+		rems[best] = -1
+		assigned++
+	}
+	var slots []int
+	for ci, k := range counts {
+		for j := 0; j < k; j++ {
+			slots = append(slots, ci)
+		}
+	}
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	return slots, nil
+}
+
+// Compile expands the scenario into a fully seeded sim.Config. The same
+// (Spec, seed) pair always yields the same config — and therefore, by the
+// simulator's own determinism, the same trace.
+func (s Spec) Compile(seed int64) (sim.Config, error) {
+	s = s.withDefaults()
+	if len(s.Classes) == 0 {
+		return sim.Config{}, fmt.Errorf("scenario %s: needs at least one class", s.Name)
+	}
+	net, err := BuildTopology(s.Topology, s.NBS)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	algo, err := ParseAlgorithm(s.Algorithm)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	arrivals, err := s.planArrivals(rng)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	// A spike-reserved class takes every spike arrival and none of the
+	// background; everyone else is dealt over the remaining classes.
+	spikeClass := -1
+	if sc := s.Arrivals.SpikeClass; sc != "" {
+		for i, c := range s.Classes {
+			if c.label() == sc {
+				spikeClass = i
+			}
+		}
+		if spikeClass < 0 {
+			return sim.Config{}, fmt.Errorf("scenario %s: SpikeClass %q not among the classes", s.Name, sc)
+		}
+	}
+	background := 0
+	for _, ar := range arrivals {
+		if !(ar.spike && spikeClass >= 0) {
+			background++
+		}
+	}
+	slots, err := s.classSlots(background, spikeClass, rng)
+	if err != nil {
+		return sim.Config{}, err
+	}
+
+	specs := make([]sim.SliceSpec, len(arrivals))
+	next := 0
+	for i, ar := range arrivals {
+		var c Class
+		if ar.spike && spikeClass >= 0 {
+			c = s.Classes[spikeClass]
+		} else {
+			c = s.Classes[slots[next]]
+			next++
+		}
+		ty, err := SliceTypeByName(c.Type)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		shape, err := parseShape(c.Shape)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		tmpl := slice.Table1(ty)
+		mean := c.Alpha * tmpl.RateMbps
+		std := c.SigmaFrac * mean
+		if ty == slice.MMTC {
+			std = 0
+		}
+		m := c.Penalty
+		if m <= 0 {
+			m = 1
+		}
+		dur := ar.duration
+		if dur == 0 {
+			dur = c.Duration
+		}
+		if dur == 0 {
+			dur = 1 << 20
+		}
+		cname := c.label()
+		specs[i] = sim.SliceSpec{
+			Name:          fmt.Sprintf("%s-%d", cname, i+1),
+			Template:      tmpl.WithStd(std),
+			PenaltyFactor: m,
+			MeanMbps:      mean,
+			StdMbps:       std,
+			ArrivalEpoch:  ar.epoch,
+			Duration:      dur,
+			Seed:          seed + int64(i)*7 + 1,
+			Shape:         shape,
+		}
+	}
+	return sim.Config{
+		Net:             net,
+		KPaths:          s.KPaths,
+		SamplesPerEpoch: s.SamplesPerEpoch,
+		Epochs:          s.Epochs,
+		Slices:          specs,
+		Algorithm:       algo,
+		HWPeriod:        s.HWPeriod,
+		ReofferPending:  s.ReofferPending,
+		ForecastPad:     s.ForecastPad,
+	}, nil
+}
+
+// Run compiles and executes the scenario under one seed.
+func (s Spec) Run(seed int64) (*sim.Result, error) {
+	cfg, err := s.Compile(seed)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg)
+}
+
+// Sweep runs the scenario once per seed, fanned out over a bounded worker
+// pool (internal/parallel semantics: results in seed order, identical at
+// any worker count).
+func Sweep(spec Spec, seeds []int64, workers int) ([]*sim.Result, error) {
+	return parallel.Map(len(seeds), workers, func(i int) (*sim.Result, error) {
+		return spec.Run(seeds[i])
+	})
+}

@@ -3,17 +3,28 @@
 // forecasting over monitored peak loads, admission/reservation decisions,
 // realized traffic, and revenue/SLA accounting (§2.2.2, §4.3 of the paper).
 //
-// The epoch loop mirrors the paper's control flow exactly:
+// The run is a pipeline of four stages per epoch, mirroring the paper's
+// control flow exactly:
 //
-//  1. requests that arrived during the previous epoch (plus re-offered
-//     pending ones) join the committed slices in an AC-RR instance;
-//  2. the configured solver (Benders / KAC / direct, with or without
-//     overbooking) decides admission, placement and reservations;
-//  3. κ monitoring samples of actual traffic are drawn per (slice, BS); the
-//     per-epoch peak feeds each slice's forecaster (the max-aggregation of
-//     §2.2.2), and realized revenue = rewards − penalty·(dropped SLA
-//     fraction) is booked;
-//  4. slice lifetimes tick down and expired slices release resources.
+//  1. assemble — requests that arrived during the previous epoch (plus
+//     re-offered pending ones) join the committed slices in an AC-RR
+//     instance;
+//  2. decide — the configured solver (Benders / KAC / direct, with or
+//     without overbooking) decides admission, placement and reservations.
+//     The Benders solver is a cross-epoch session by default: still-valid
+//     cuts and the slave simplex basis carry over whenever consecutive
+//     instances differ only in forecasts (see core.BendersSession), with a
+//     verified cold rebuild on arrivals/departures. Config.ColdSolver
+//     forces a from-scratch solve every epoch; decisions are identical
+//     either way — only wall-clock changes;
+//  3. measure — κ monitoring samples of actual traffic are drawn per
+//     (slice, BS), fanned out per tenant over internal/parallel (each
+//     tenant owns its seeded generators, so results are bit-identical at
+//     any worker count); the per-epoch peak feeds each slice's forecaster
+//     (the max-aggregation of §2.2.2), and realized revenue = rewards −
+//     penalty·(dropped SLA fraction) is booked;
+//  4. lifecycle — slice lifetimes tick down and expired slices release
+//     resources.
 //
 // New slices have no monitored history, so they are admitted — if at all —
 // at their full SLA reservation (λ̂ = Λ, σ̂ = 1); overbooking gains appear
@@ -25,9 +36,11 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/forecast"
+	"repro/internal/parallel"
 	"repro/internal/slice"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -59,6 +72,22 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
+// LoadShape selects a slice's true traffic process.
+type LoadShape int
+
+// Load shapes.
+const (
+	// ShapeAuto resolves to ShapeDiurnal when SliceSpec.Diurnal is set and
+	// ShapeGaussian otherwise (the pre-scenario-engine behavior).
+	ShapeAuto LoadShape = iota
+	ShapeGaussian
+	ShapeDiurnal
+	// ShapeHeavyTail draws log-normal samples moment-matched to
+	// (MeanMbps, StdMbps): rare far-above-mean peaks stress the
+	// peak-tracking forecaster.
+	ShapeHeavyTail
+)
+
 // SliceSpec describes one tenant's request and true traffic process.
 type SliceSpec struct {
 	Name          string
@@ -69,6 +98,8 @@ type SliceSpec struct {
 	ArrivalEpoch  int
 	Duration      int // L, epochs; slices re-apply while pending
 	Seed          int64
+	// Shape selects the load process; ShapeAuto defers to Diurnal.
+	Shape LoadShape
 	// Diurnal switches the true load to the day-shaped profile (testbed
 	// scenario); MeanMbps is then the profile midpoint.
 	Diurnal bool
@@ -93,6 +124,14 @@ type Config struct {
 	// 16-core edge CU) only work unpadded — so the default is 0; raise it
 	// to trade admission gains for a smaller SLA-violation footprint.
 	ForecastPad float64
+	// ColdSolver disables cross-epoch solver state: every epoch is solved
+	// from scratch. Admission decisions are identical to the warm pipeline
+	// (pinned by the equality tests); the switch exists for benchmarks and
+	// cross-checking.
+	ColdSolver bool
+	// Workers bounds the measurement stage's worker pool; 0 means
+	// GOMAXPROCS, 1 forces serial. Traces are bit-identical at any value.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +191,58 @@ type Result struct {
 	MeanDrop      float64
 }
 
+// Trace renders the full run as a deterministic text fingerprint: every
+// epoch's admissions, placements, reservations, peaks and revenue. Two runs
+// of the same Config are bit-identical at any worker count, so tests compare
+// Traces directly.
+func (r *Result) Trace() string {
+	var b strings.Builder
+	for _, es := range r.Epochs {
+		fmt.Fprintf(&b, "epoch %d accepted=%d rev=%.9g exp=%.9g viol=%d/%d deficit=%.9g\n",
+			es.Epoch, es.Accepted, es.Revenue, es.ExpectedRevenue, es.Violations, es.Samples, es.DeficitCost)
+		for _, te := range es.Tenants {
+			fmt.Fprintf(&b, "  %s/%s active=%v cu=%d path=%v z=%s peak=%s viol=%d drop=%.9g rev=%.9g\n",
+				te.Name, te.Type, te.Active, te.CU, te.PathIdx,
+				fmtFloats(te.Reserved), fmtFloats(te.Peak), te.Violated, te.Dropped, te.Revenue)
+		}
+	}
+	fmt.Fprintf(&b, "total=%.9g mean=%.9g viol=%.9g drop=%.9g\n",
+		r.TotalRevenue, r.MeanRevenue, r.ViolationProb, r.MeanDrop)
+	return b.String()
+}
+
+// DecisionTrace renders only the solver-decided part of the run — the
+// admission set, CU placements, path choices and the expected revenue
+// (rounded past solver tolerance). Reservations are deliberately excluded:
+// alternate LP optima may place z differently at equal objective, which is
+// why the warm/cold equality contract is stated on decisions, not on z.
+func (r *Result) DecisionTrace() string {
+	var b strings.Builder
+	for _, es := range r.Epochs {
+		fmt.Fprintf(&b, "epoch %d accepted=%d exp=%.4f:", es.Epoch, es.Accepted, es.ExpectedRevenue)
+		for _, te := range es.Tenants {
+			if te.Active {
+				fmt.Fprintf(&b, " %s@cu%d%v", te.Name, te.CU, te.PathIdx)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fmtFloats(vs []float64) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.9g", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
 // tenantState is the simulator's live view of one slice.
 type tenantState struct {
 	spec      SliceSpec
@@ -165,153 +256,262 @@ type tenantState struct {
 	done      bool
 }
 
+// epochSolver is the per-epoch decision engine. Stateful implementations
+// (the cross-epoch Benders session) carry cuts and simplex bases between
+// calls; stateless ones re-solve every instance from scratch.
+type epochSolver interface {
+	Solve(*core.Instance) (*core.Decision, error)
+}
+
+// solverFunc adapts a stateless solve function.
+type solverFunc func(*core.Instance) (*core.Decision, error)
+
+func (f solverFunc) Solve(inst *core.Instance) (*core.Decision, error) { return f(inst) }
+
+// newEpochSolver wires the configured algorithm, choosing the warm
+// cross-epoch session for Benders unless the config forces cold solves.
+func newEpochSolver(cfg Config) (epochSolver, error) {
+	switch cfg.Algorithm {
+	case Direct, NoOverbooking:
+		return solverFunc(core.SolveDirect), nil
+	case Benders:
+		if cfg.ColdSolver {
+			return solverFunc(func(inst *core.Instance) (*core.Decision, error) {
+				return core.SolveBenders(inst, core.BendersOptions{})
+			}), nil
+		}
+		return core.NewBendersSession(core.BendersOptions{}), nil
+	case KAC:
+		return solverFunc(func(inst *core.Instance) (*core.Decision, error) {
+			return core.SolveKAC(inst, core.KACOptions{})
+		}), nil
+	}
+	return nil, fmt.Errorf("sim: unknown algorithm %v", cfg.Algorithm)
+}
+
+// engine is one run's pipeline state.
+type engine struct {
+	cfg    Config
+	paths  [][][]topology.Path
+	nBS    int
+	states []*tenantState
+	solver epochSolver
+
+	res             *Result
+	totalViolations int
+	totalSamples    int
+	dropSum         float64
+	dropCount       int
+}
+
 // Run executes the scenario and returns per-epoch statistics.
 func Run(cfg Config) (*Result, error) {
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < eng.cfg.Epochs; t++ {
+		if err := eng.step(t); err != nil {
+			return nil, err
+		}
+	}
+	return eng.finish(), nil
+}
+
+// newEngine validates the config and builds the per-tenant state.
+func newEngine(cfg Config) (*engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Net == nil || cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("sim: config needs a topology and a positive epoch count")
 	}
-	paths := cfg.Net.Paths(cfg.KPaths)
-	nBS := cfg.Net.NumBS()
-
-	states := make([]*tenantState, len(cfg.Slices))
+	solver, err := newEpochSolver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := &engine{
+		cfg:    cfg,
+		paths:  cfg.Net.Paths(cfg.KPaths),
+		nBS:    cfg.Net.NumBS(),
+		solver: solver,
+		res:    &Result{Config: cfg},
+	}
+	eng.states = make([]*tenantState, len(cfg.Slices))
 	for i, sp := range cfg.Slices {
 		sla := slice.SLA{Template: sp.Template, MeanMbps: sp.MeanMbps, Duration: sp.Duration}.
 			WithPenaltyFactor(sp.PenaltyFactor)
 		st := &tenantState{spec: sp, sla: sla, remaining: sp.Duration}
-		st.gens = make([]traffic.Generator, nBS)
-		for b := 0; b < nBS; b++ {
-			seed := sp.Seed*1000 + int64(b) + 1
-			switch {
-			case sp.Diurnal:
-				st.gens[b] = traffic.NewDiurnal(
-					math.Max(0, sp.MeanMbps-2*sp.StdMbps), sp.MeanMbps+2*sp.StdMbps,
-					cfg.HWPeriod*2, cfg.SamplesPerEpoch, sp.StdMbps/4, seed)
-			case sp.StdMbps == 0:
-				st.gens[b] = traffic.Constant{MeanMbps: sp.MeanMbps}
-			default:
-				st.gens[b] = traffic.NewGaussian(sp.MeanMbps, sp.StdMbps, 0, seed)
-			}
+		st.gens = make([]traffic.Generator, eng.nBS)
+		for b := 0; b < eng.nBS; b++ {
+			st.gens[b] = newGenerator(cfg, sp, b)
 		}
 		st.fc = forecast.NewAdaptive(0.5, 0.05, 0.15, cfg.HWPeriod)
-		states[i] = st
+		eng.states[i] = st
 	}
+	return eng, nil
+}
 
-	res := &Result{Config: cfg}
-	totalViolations, totalSamples := 0, 0
-	dropSum, dropCount := 0.0, 0
+// newGenerator builds the per-(slice, BS) load process for the spec.
+func newGenerator(cfg Config, sp SliceSpec, b int) traffic.Generator {
+	seed := sp.Seed*1000 + int64(b) + 1
+	shape := sp.Shape
+	if shape == ShapeAuto {
+		if sp.Diurnal {
+			shape = ShapeDiurnal
+		} else {
+			shape = ShapeGaussian
+		}
+	}
+	switch {
+	case shape == ShapeDiurnal:
+		return traffic.NewDiurnal(
+			math.Max(0, sp.MeanMbps-2*sp.StdMbps), sp.MeanMbps+2*sp.StdMbps,
+			cfg.HWPeriod*2, cfg.SamplesPerEpoch, sp.StdMbps/4, seed)
+	case sp.StdMbps == 0:
+		return traffic.Constant{MeanMbps: sp.MeanMbps}
+	case shape == ShapeHeavyTail:
+		return traffic.NewLogNormal(sp.MeanMbps, sp.StdMbps, 0, seed)
+	default:
+		return traffic.NewGaussian(sp.MeanMbps, sp.StdMbps, 0, seed)
+	}
+}
 
-	for t := 0; t < cfg.Epochs; t++ {
-		// 1. Requests join the decision round.
-		var specs []core.TenantSpec
-		var idxOf []int // instance tenant index -> states index
-		for i, st := range states {
-			if st.done {
+// step runs one epoch through the four pipeline stages.
+func (e *engine) step(t int) error {
+	specs, idxOf := e.assemble(t)
+	inst := &core.Instance{
+		Net: e.cfg.Net, Paths: e.paths, Tenants: specs,
+		Overbook: e.cfg.Algorithm != NoOverbooking, BigM: 1e4,
+	}
+	dec, err := e.solver.Solve(inst)
+	if err != nil {
+		return fmt.Errorf("sim: epoch %d: %w", t, err)
+	}
+	es := EpochStats{Epoch: t, ExpectedRevenue: dec.Revenue(),
+		DeficitCost: inst.BigM * (dec.DeficitRadio + dec.DeficitTransport + dec.DeficitCompute)}
+	e.measure(t, dec, idxOf, &es)
+	e.totalViolations += es.Violations
+	e.totalSamples += es.Samples
+	e.res.TotalRevenue += es.Revenue
+	e.res.Epochs = append(e.res.Epochs, es)
+	return nil
+}
+
+// assemble gathers the epoch's decision round: committed slices plus
+// requests that have arrived (or are re-offered while pending).
+func (e *engine) assemble(t int) ([]core.TenantSpec, []int) {
+	var specs []core.TenantSpec
+	var idxOf []int // instance tenant index -> states index
+	for i, st := range e.states {
+		if st.done {
+			continue
+		}
+		if !st.committed {
+			arrived := st.spec.ArrivalEpoch == t ||
+				(e.cfg.ReofferPending && st.spec.ArrivalEpoch <= t)
+			if !arrived {
 				continue
 			}
-			if !st.committed {
-				arrived := st.spec.ArrivalEpoch == t ||
-					(cfg.ReofferPending && st.spec.ArrivalEpoch <= t)
-				if !arrived {
-					continue
-				}
-				st.pending = true
-			}
-			lambdaHat, sigma := st.forecastView(cfg.ForecastPad)
-			specs = append(specs, core.TenantSpec{
-				Name:            st.spec.Name,
-				SLA:             st.sla,
-				LambdaHat:       lambdaHat,
-				Sigma:           sigma,
-				RemainingEpochs: st.remaining,
-				Committed:       st.committed,
-				CommittedCU:     st.cu,
-			})
-			idxOf = append(idxOf, i)
+			st.pending = true
 		}
+		lambdaHat, sigma := st.forecastView(e.cfg.ForecastPad)
+		specs = append(specs, core.TenantSpec{
+			Name:            st.spec.Name,
+			SLA:             st.sla,
+			LambdaHat:       lambdaHat,
+			Sigma:           sigma,
+			RemainingEpochs: st.remaining,
+			Committed:       st.committed,
+			CommittedCU:     st.cu,
+		})
+		idxOf = append(idxOf, i)
+	}
+	return specs, idxOf
+}
 
-		inst := &core.Instance{
-			Net: cfg.Net, Paths: paths, Tenants: specs,
-			Overbook: cfg.Algorithm != NoOverbooking, BigM: 1e4,
+// measure applies the decision, draws the epoch's monitoring samples —
+// fanned out per tenant over the worker pool; every tenant owns its seeded
+// generators and forecaster, so the trace is independent of the worker
+// count — then reduces the per-tenant outcomes in deterministic tenant
+// order and advances lifecycles.
+func (e *engine) measure(t int, dec *core.Decision, idxOf []int, es *EpochStats) {
+	outcomes := make([]TenantEpoch, len(idxOf))
+	parallel.ForEach(len(idxOf), e.cfg.Workers, func(ti int) {
+		st := e.states[idxOf[ti]]
+		te := TenantEpoch{Name: st.spec.Name, Type: st.spec.Template.Type}
+		if !dec.Accepted[ti] {
+			if !e.cfg.ReofferPending && !st.committed {
+				st.done = true // one-shot request, rejected for good
+			}
+			outcomes[ti] = te
+			return
 		}
-		dec, err := solve(cfg.Algorithm, inst)
-		if err != nil {
-			return nil, fmt.Errorf("sim: epoch %d: %w", t, err)
+		if !st.committed {
+			st.committed = true
+			st.pending = false
+			st.cu = dec.CU[ti]
 		}
+		te.Active, te.CU = true, st.cu
+		te.Reserved = append([]float64(nil), dec.Z[ti]...)
+		te.PathIdx = append([]int(nil), dec.PathIdx[ti]...)
 
-		// 2. Apply the decision and measure the epoch.
-		es := EpochStats{Epoch: t, ExpectedRevenue: dec.Revenue(),
-			DeficitCost: inst.BigM * (dec.DeficitRadio + dec.DeficitTransport + dec.DeficitCompute)}
-		for ti, si := range idxOf {
-			st := states[si]
-			te := TenantEpoch{Name: st.spec.Name, Type: st.spec.Template.Type}
-			if !dec.Accepted[ti] {
-				if !cfg.ReofferPending && !st.committed {
-					st.done = true // one-shot request, rejected for good
+		// Draw the epoch's monitoring samples per BS.
+		te.Peak = make([]float64, e.nBS)
+		lam := st.sla.RateMbps
+		var epochDrop float64
+		maxPeak := 0.0
+		for b := 0; b < e.nBS; b++ {
+			for theta := 0; theta < e.cfg.SamplesPerEpoch; theta++ {
+				load := st.gens[b].Sample(t, theta)
+				if load > te.Peak[b] {
+					te.Peak[b] = load
 				}
-				es.Tenants = append(es.Tenants, te)
-				continue
+				inSLA := math.Min(load, lam)
+				if deficit := inSLA - dec.Z[ti][b]; deficit > 1e-9 {
+					te.Violated++
+					epochDrop += deficit / lam
+				}
 			}
-			if !st.committed {
-				st.committed = true
-				st.pending = false
-				st.cu = dec.CU[ti]
+			if te.Peak[b] > maxPeak {
+				maxPeak = te.Peak[b]
 			}
-			te.Active, te.CU = true, st.cu
-			te.Reserved = append([]float64(nil), dec.Z[ti]...)
-			te.PathIdx = append([]int(nil), dec.PathIdx[ti]...)
+		}
+		samples := float64(e.cfg.SamplesPerEpoch * e.nBS)
+		te.Dropped = epochDrop / samples
+		// Realized revenue: reward minus penalty proportional to the
+		// dropped SLA fraction (K = m·R, so dropping 10% of the SLA
+		// costs 10%·m of the reward — the paper's penalty design).
+		te.Revenue = st.sla.Reward - st.sla.Penalty*te.Dropped
+
+		// Feed the forecaster with the across-BS peak (conservative
+		// max-aggregation) and tick the lifetime.
+		st.fc.Observe(maxPeak)
+		st.remaining--
+		if st.remaining <= 0 {
+			st.done = true
+		}
+		outcomes[ti] = te
+	})
+
+	// Deterministic reduction in tenant order.
+	for ti := range idxOf {
+		te := outcomes[ti]
+		if te.Active {
 			es.Accepted++
-
-			// Draw the epoch's monitoring samples per BS.
-			te.Peak = make([]float64, nBS)
-			lam := st.sla.RateMbps
-			var epochDrop float64
-			maxPeak := 0.0
-			for b := 0; b < nBS; b++ {
-				for theta := 0; theta < cfg.SamplesPerEpoch; theta++ {
-					load := st.gens[b].Sample(t, theta)
-					if load > te.Peak[b] {
-						te.Peak[b] = load
-					}
-					inSLA := math.Min(load, lam)
-					if deficit := inSLA - dec.Z[ti][b]; deficit > 1e-9 {
-						te.Violated++
-						epochDrop += deficit / lam
-					}
-					es.Samples++
-				}
-				if te.Peak[b] > maxPeak {
-					maxPeak = te.Peak[b]
-				}
-			}
+			es.Samples += e.cfg.SamplesPerEpoch * e.nBS
 			es.Violations += te.Violated
-			samples := float64(cfg.SamplesPerEpoch * nBS)
-			te.Dropped = epochDrop / samples
-			// Realized revenue: reward minus penalty proportional to the
-			// dropped SLA fraction (K = m·R, so dropping 10% of the SLA
-			// costs 10%·m of the reward — the paper's penalty design).
-			te.Revenue = st.sla.Reward - st.sla.Penalty*te.Dropped
 			es.Revenue += te.Revenue
 			if te.Violated > 0 {
-				dropSum += te.Dropped
-				dropCount++
+				e.dropSum += te.Dropped
+				e.dropCount++
 			}
-
-			// 3. Feed the forecaster with the across-BS peak (conservative
-			// max-aggregation) and tick the lifetime.
-			st.fc.Observe(maxPeak)
-			st.remaining--
-			if st.remaining <= 0 {
-				st.done = true
-			}
-			es.Tenants = append(es.Tenants, te)
 		}
-		totalViolations += es.Violations
-		totalSamples += es.Samples
-		res.TotalRevenue += es.Revenue
-		res.Epochs = append(res.Epochs, es)
+		es.Tenants = append(es.Tenants, te)
 	}
+}
 
+// finish computes the run-level aggregates.
+func (e *engine) finish() *Result {
+	res := e.res
 	// Steady-state mean over the second half of the run.
 	half := len(res.Epochs) / 2
 	sum := 0.0
@@ -321,13 +521,13 @@ func Run(cfg Config) (*Result, error) {
 	if n := len(res.Epochs) - half; n > 0 {
 		res.MeanRevenue = sum / float64(n)
 	}
-	if totalSamples > 0 {
-		res.ViolationProb = float64(totalViolations) / float64(totalSamples)
+	if e.totalSamples > 0 {
+		res.ViolationProb = float64(e.totalViolations) / float64(e.totalSamples)
 	}
-	if dropCount > 0 {
-		res.MeanDrop = dropSum / float64(dropCount)
+	if e.dropCount > 0 {
+		res.MeanDrop = e.dropSum / float64(e.dropCount)
 	}
-	return res, nil
+	return res
 }
 
 // forecastView returns (λ̂, σ̂) for the tenant: full-SLA conservatism until
@@ -341,17 +541,4 @@ func (st *tenantState) forecastView(pad float64) (float64, float64) {
 	}
 	pred := st.fc.Forecast(1)[0] * (1 + pad*sigma)
 	return math.Min(pred, lam), sigma
-}
-
-// solve dispatches to the configured algorithm.
-func solve(a Algorithm, inst *core.Instance) (*core.Decision, error) {
-	switch a {
-	case Direct, NoOverbooking:
-		return core.SolveDirect(inst)
-	case Benders:
-		return core.SolveBenders(inst, core.BendersOptions{})
-	case KAC:
-		return core.SolveKAC(inst, core.KACOptions{})
-	}
-	return nil, fmt.Errorf("sim: unknown algorithm %v", a)
 }

@@ -220,6 +220,104 @@ func TestAlgorithmString(t *testing.T) {
 	}
 }
 
+// TestWarmSolverMatchesCold pins the cross-epoch contract at the sim level:
+// the Benders session carrying cuts and bases across epochs must produce
+// the same admission decisions, placements and expected revenue as solving
+// every epoch from scratch — including across arrivals, departures and
+// commitment pinning, where the session cold-rebuilds.
+func TestWarmSolverMatchesCold(t *testing.T) {
+	cases := map[string]func() Config{
+		"steady": func() Config { return testConfig(Benders, embbSpecs(5, 0.25, 0.1, 1), 14) },
+		"staggered": func() Config {
+			tmpl := slice.Table1(slice.URLLC)
+			var specs []SliceSpec
+			for i := 0; i < 3; i++ {
+				specs = append(specs, SliceSpec{
+					Name: "u", Template: tmpl, PenaltyFactor: 1,
+					MeanMbps: 12.5, StdMbps: 1.25,
+					ArrivalEpoch: i * 2, Duration: 1 << 20, Seed: int64(i + 1),
+				})
+			}
+			return testConfig(Benders, specs, 10)
+		},
+		"churn": func() Config {
+			tmpl := slice.Table1(slice.EMBB)
+			var specs []SliceSpec
+			for i := 0; i < 4; i++ {
+				specs = append(specs, SliceSpec{
+					Name: "c", Template: tmpl, PenaltyFactor: 1,
+					MeanMbps: 15, StdMbps: 1.5,
+					ArrivalEpoch: i, Duration: 4, Seed: int64(i + 1),
+				})
+			}
+			cfg := testConfig(Benders, specs, 10)
+			cfg.ReofferPending = false
+			return cfg
+		},
+	}
+	for name, mk := range cases {
+		cold := mk()
+		cold.ColdSolver = true
+		coldRes, err := Run(cold)
+		if err != nil {
+			t.Fatalf("%s cold: %v", name, err)
+		}
+		warmRes, err := Run(mk())
+		if err != nil {
+			t.Fatalf("%s warm: %v", name, err)
+		}
+		if coldRes.DecisionTrace() != warmRes.DecisionTrace() {
+			t.Errorf("%s: warm and cold decision traces differ:\ncold:\n%s\nwarm:\n%s",
+				name, coldRes.DecisionTrace(), warmRes.DecisionTrace())
+		}
+	}
+}
+
+// TestTraceDeterminism pins bit-identical traces across repeated runs in
+// one process and across measurement worker counts.
+func TestTraceDeterminism(t *testing.T) {
+	mk := func(workers int) Config {
+		cfg := testConfig(Benders, embbSpecs(5, 0.25, 0.2, 1), 10)
+		cfg.Workers = workers
+		return cfg
+	}
+	first, err := Run(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Trace() != again.Trace() {
+		t.Error("two serial runs of the same config diverged")
+	}
+	for _, w := range []int{2, 8} {
+		par, err := Run(mk(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Trace() != first.Trace() {
+			t.Errorf("trace at %d workers differs from serial", w)
+		}
+	}
+}
+
+// TestHeavyTailShape exercises the log-normal load path end to end.
+func TestHeavyTailShape(t *testing.T) {
+	specs := embbSpecs(3, 0.3, 0.5, 1)
+	for i := range specs {
+		specs[i].Shape = ShapeHeavyTail
+	}
+	res, err := Run(testConfig(Direct, specs, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRevenue == 0 {
+		t.Error("heavy-tail run earned nothing")
+	}
+}
+
 func TestRealizedVsExpectedRevenueCoherent(t *testing.T) {
 	res, err := Run(testConfig(Direct, embbSpecs(4, 0.3, 0.1, 1), 12))
 	if err != nil {

@@ -102,6 +102,47 @@ func (d *Diurnal) Sample(t, theta int) float64 {
 // Mean implements Generator.
 func (d *Diurnal) Mean() float64 { return (d.BaseMbps + d.PeakMbps) / 2 }
 
+// LogNormal is the heavy-tailed load process the flash-crowd and
+// heavy-tail scenarios use: most samples sit below the mean but the upper
+// tail reaches far past what a Gaussian with the same moments would
+// produce, stressing the peak-tracking forecaster and the overbooking risk
+// term. Parameterized by the target mean and standard deviation of the
+// samples (moment-matched, not by the underlying normal's µ/σ).
+type LogNormal struct {
+	MeanMbps float64
+	StdMbps  float64
+	CapMbps  float64 // physical ceiling; 0 = uncapped
+	mu, sig  float64
+	rng      *rand.Rand
+}
+
+// NewLogNormal returns a seeded heavy-tailed load process whose samples
+// have the given mean and standard deviation.
+func NewLogNormal(mean, std, capMbps float64, seed int64) *LogNormal {
+	if mean <= 0 {
+		panic("traffic: lognormal needs a positive mean")
+	}
+	cv2 := (std / mean) * (std / mean)
+	sig2 := math.Log(1 + cv2)
+	return &LogNormal{
+		MeanMbps: mean, StdMbps: std, CapMbps: capMbps,
+		mu: math.Log(mean) - sig2/2, sig: math.Sqrt(sig2),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Sample implements Generator.
+func (l *LogNormal) Sample(t, theta int) float64 {
+	v := math.Exp(l.mu + l.rng.NormFloat64()*l.sig)
+	if l.CapMbps > 0 && v > l.CapMbps {
+		v = l.CapMbps
+	}
+	return v
+}
+
+// Mean implements Generator.
+func (l *LogNormal) Mean() float64 { return l.MeanMbps }
+
 // EpochPeak draws the κ monitoring samples of epoch t and returns their
 // maximum — exactly the λ(t) = max{λ(θ)} aggregation of §2.2.2 that the
 // monitoring block feeds to the forecaster.
