@@ -8,7 +8,7 @@ GO ?= go
 # catching wholesale test deletions or big untested subsystems.
 COVER_FLOOR ?= 75
 
-.PHONY: build test test-race vet fmt-check bench bench-smoke fuzz-smoke cover ci
+.PHONY: build test test-race vet fmt-check bench bench-smoke bench-json fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# bench-json runs every benchmark once and captures the results — name,
+# ns/op, custom metrics like req/s — as a machine-readable perf artifact.
+# One file per PR (BENCH_JSON=BENCH_PR<n>.json) makes the repository's perf
+# trajectory diffable instead of being archaeology over CI logs. It also
+# subsumes bench-smoke: every benchmark path must still compile and run.
+BENCH_JSON ?= BENCH_PR3.json
+
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > bench.raw || { rm -f bench.raw; exit 1; }
+	$(GO) run ./cmd/benchjson < bench.raw > $(BENCH_JSON) || { rm -f bench.raw $(BENCH_JSON); exit 1; }
+	@rm -f bench.raw
+	@echo "wrote $(BENCH_JSON)"
+
 # fuzz-smoke gives each native fuzz target a short budget; crashes found in
 # CI reproduce locally via the corpus file Go writes on failure.
 fuzz-smoke:
@@ -48,4 +61,4 @@ cover:
 	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN{exit !(t>=f)}' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-ci: build vet fmt-check test-race cover fuzz-smoke bench-smoke
+ci: build vet fmt-check test-race cover fuzz-smoke bench-json

@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so the repository's perf
+// trajectory can be tracked file-to-file across PRs (BENCH_PR3.json
+// onward) instead of being archaeology over CI logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_PR3.json
+//
+// Every benchmark line is captured with its package, name, -cpu suffix,
+// iteration count, ns/op, and all custom metrics (req/s, B/op, ...).
+// Non-benchmark output — figure artifacts, log lines — is ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"` // the -N GOMAXPROCS suffix
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"` // custom units beyond ns/op
+}
+
+// Document is the emitted file.
+type Document struct {
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// benchLine matches e.g. `BenchmarkFoo/sub=2-8   4   123456 ns/op   7 req/s`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	doc := Document{Results: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			doc.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			r, ok := parseResult(pkg, m)
+			if !ok {
+				continue
+			}
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Results) == 0 {
+		log.Fatal("no benchmark results on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: captured %d results\n", len(doc.Results))
+}
+
+// parseResult decodes one matched benchmark line: the metric tail is
+// `value unit` pairs, ns/op first by convention but not by requirement.
+func parseResult(pkg string, m []string) (Result, bool) {
+	r := Result{Pkg: pkg, Name: m[1], Metrics: map[string]float64{}}
+	if m[2] != "" {
+		r.Procs, _ = strconv.Atoi(m[2])
+	}
+	var err error
+	r.Iterations, err = strconv.ParseInt(m[3], 10, 64)
+	if err != nil {
+		return r, false
+	}
+	fields := strings.Fields(m[4])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return r, false
+		}
+		if fields[i+1] == "ns/op" {
+			r.NsPerOp = v
+		} else {
+			r.Metrics[fields[i+1]] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func parseLine(t *testing.T, pkg, line string) (Result, bool) {
+	t.Helper()
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	return parseResult(pkg, m)
+}
+
+func TestParseBenchLines(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want Result
+		ok   bool
+	}{
+		{
+			name: "plain ns/op",
+			line: "BenchmarkWarmSolve-8   	     100	  12345678 ns/op",
+			want: Result{Pkg: "p", Name: "BenchmarkWarmSolve", Procs: 8, Iterations: 100, NsPerOp: 12345678},
+			ok:   true,
+		},
+		{
+			name: "custom metrics and subbenchmark",
+			line: "BenchmarkAdmissionThroughput/shards=4-2         	       2	  43032439 ns/op	      2231 req/s",
+			want: Result{Pkg: "p", Name: "BenchmarkAdmissionThroughput/shards=4", Procs: 2,
+				Iterations: 2, NsPerOp: 43032439, Metrics: map[string]float64{"req/s": 2231}},
+			ok: true,
+		},
+		{
+			name: "benchmem columns",
+			line: "BenchmarkX 	 3	 100 ns/op	 64 B/op	 2 allocs/op",
+			want: Result{Pkg: "p", Name: "BenchmarkX", Iterations: 3, NsPerOp: 100,
+				Metrics: map[string]float64{"B/op": 64, "allocs/op": 2}},
+			ok: true,
+		},
+		{name: "artifact output ignored", line: "fig5: m=16 revenue=3.2", ok: false},
+		{name: "status line ignored", line: "ok  	repro/internal/admission	1.2s", ok: false},
+		{name: "bench header ignored", line: "BenchmarkAdmissionThroughput/shards=1", ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseLine(t, "p", tc.line)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if ok && !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("got %+v\nwant %+v", got, tc.want)
+			}
+		})
+	}
+}

@@ -7,19 +7,30 @@
 // Usage:
 //
 //	ovnes [-listen 127.0.0.1:8080] [-collector 127.0.0.1:6343] \
-//	      [-topology testbed|romanian|swiss|italian] [-nbs 4] [-algo direct]
+//	      [-topology testbed|romanian|swiss|italian] [-nbs 4] [-algo direct] \
+//	      [-shards 1] [-queue 1024]
 //
 // Endpoints (orchestrator): POST /requests, POST /epoch, GET /slices,
-// GET /epoch. The controllers listen on consecutive ports after -listen.
+// GET /epoch, GET /metrics. The controllers listen on consecutive ports
+// after -listen.
+//
+// SIGINT/SIGTERM shut the stack down gracefully: listeners stop accepting,
+// in-flight HTTP requests finish, the admission engine drains its queue,
+// and only then does the process exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"repro/internal/ctrlplane"
 	"repro/internal/dataplane"
@@ -37,8 +48,13 @@ func main() {
 		topoName  = flag.String("topology", "testbed", "testbed | romanian | swiss | italian")
 		nbs       = flag.Int("nbs", 4, "BS count for operator topologies (0 = full size)")
 		algo      = flag.String("algo", "direct", "direct | benders | kac | no-overbooking")
+		shards    = flag.Int("shards", 1, "admission engine solver workers")
+		queue     = flag.Int("queue", 1024, "admission engine intake depth")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	net_, err := buildTopo(*topoName, *nbs)
 	if err != nil {
@@ -64,11 +80,17 @@ func main() {
 	}
 	addrOf := func(off int) string { return net.JoinHostPort(host, strconv.Itoa(port+off)) }
 
+	// Every service is an http.Server so shutdown can drain it; a fatal
+	// listener error anywhere tears the whole stack down via errc.
+	var servers []*http.Server
+	errc := make(chan error, 8)
 	serve := func(addr, name string, h http.Handler) {
+		srv := &http.Server{Addr: addr, Handler: h}
+		servers = append(servers, srv)
 		go func() {
 			log.Printf("%s on http://%s", name, addr)
-			if err := http.ListenAndServe(addr, h); err != nil {
-				log.Fatalf("%s: %v", name, err)
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("%s: %w", name, err)
 			}
 		}()
 	}
@@ -79,6 +101,8 @@ func main() {
 	orch, err := ctrlplane.NewOrchestrator(ctrlplane.OrchestratorConfig{
 		Net:           net_,
 		Algorithm:     *algo,
+		Shards:        *shards,
+		QueueDepth:    *queue,
 		Store:         store,
 		RANAddr:       "http://" + addrOf(1),
 		TransportAddr: "http://" + addrOf(2),
@@ -87,8 +111,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("E2E orchestrator (%s, %s) on http://%s", net_.Name, *algo, *listen)
-	log.Fatal(http.ListenAndServe(*listen, orch.Handler()))
+	serve(*listen, fmt.Sprintf("E2E orchestrator (%s, %s)", net_.Name, *algo), orch.Handler())
+
+	fatal := false
+	select {
+	case <-ctx.Done():
+		log.Print("signal received, shutting down")
+	case err := <-errc:
+		// A dead listener is a failure even though we still drain: the
+		// exit status must tell the supervisor to restart us.
+		fatal = true
+		log.Print(err)
+	}
+
+	// Drain order matters: stop accepting HTTP first (in-flight admissions
+	// finish), then drain the admission engine, then release the collector.
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, srv := range servers {
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	if err := orch.Close(); err != nil {
+		log.Printf("admission engine drain: %v", err)
+	}
+	if fatal {
+		col.Close()
+		log.Fatal("exiting after listener failure")
+	}
+	log.Print("bye")
 }
 
 func buildTopo(name string, nbs int) (*topology.Network, error) {

@@ -10,12 +10,19 @@
 //
 //	curl -X POST http://127.0.0.1:8090/requests -d \
 //	  '{"name":"urllc1","type":"uRLLC","duration_epochs":12,"penalty_factor":1}'
+//
+// SIGINT/SIGTERM drain in-flight requests before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/ctrlplane"
 )
@@ -30,7 +37,29 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	mgr := ctrlplane.NewSliceManager(*orch)
-	log.Printf("slice manager on http://%s (orchestrator %s)", *listen, *orch)
-	log.Fatal(http.ListenAndServe(*listen, mgr.Handler()))
+	srv := &http.Server{Addr: *listen, Handler: mgr.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("slice manager on http://%s (orchestrator %s)", *listen, *orch)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Print("signal received, shutting down")
+	case err := <-errc:
+		log.Fatal(err)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Print("bye")
 }

@@ -1,0 +1,290 @@
+// Package admission turns the batch AC-RR orchestrator into an online,
+// load-generator-scale serving layer: tenants submit slice requests
+// continuously and the engine decides admit/reject in micro-batched rounds,
+// at whatever concurrency the hardware allows, without ever changing what
+// the paper's solver would have decided.
+//
+// The pipeline is
+//
+//	Submit → bounded queue → micro-batcher → domain shard → warm session
+//
+// with four load-bearing properties:
+//
+//  1. Backpressure, not collapse. The intake queue is bounded
+//     (Config.QueueDepth) and per-tenant fair (Config.TenantCap): when the
+//     solver cannot keep up, excess requests are shed synchronously with
+//     ErrOverloaded / ErrTenantCap instead of growing an unbounded backlog.
+//     Shedding is an explicit, counted outcome — the metrics snapshot is
+//     how an operator sees it.
+//
+//  2. Micro-batching. Concurrent requests to one domain coalesce into a
+//     single admission round — one AC-RR instance solve — flushed when the
+//     batch reaches Config.MaxBatch, when Config.FlushEvery elapses, or
+//     when the caller forces a round (Flush / DecideRound). Batching is
+//     what makes the LP affordable per request: a round costs one solve
+//     regardless of how many requests ride in it.
+//
+//  3. Warm sharded solving. Each operator domain is pinned to exactly one
+//     shard (round-robin in registration order, so the placement is
+//     deterministic and balanced), and every round of a domain executes serially on
+//     that shard against the domain's own core.BendersSession. Rounds that
+//     only drift forecasts therefore rebind the slave LP instead of
+//     rebuilding it (PR 1/2's sameSolverShape machinery); rounds that
+//     change the tenant set cold-rebuild, which is always correct. Shards
+//     scale throughput across domains while keeping each domain's decision
+//     stream strictly sequential.
+//
+//  4. Determinism. A round's instance is built in canonical order —
+//     committed slices in admission order, then the batch sorted by request
+//     name — so the decision for a given round set is independent of
+//     submission interleaving, shard count, and flush timing. Combined with
+//     the solver's lexicographic tie-break (core.tieBreakBase) the engine's
+//     decisions are bit-identical to a serial single-shard replay of the
+//     same rounds, which is what the equality tests pin.
+//
+// A cheap capacity-headroom prefilter fast-rejects requests that are
+// structurally infeasible — no CU reachable from every BS within the delay
+// bound, or (under hard capacity constraints) a demand no topology resource
+// could ever carry — before any LP is touched. The prefilter only rejects
+// what the solver itself would reject, so it never changes outcomes, only
+// the price of reaching them.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/slice"
+	"repro/internal/topology"
+)
+
+// Intake errors. ErrOverloaded and ErrTenantCap are the backpressure
+// surface: callers are expected to retry later or route elsewhere.
+var (
+	// ErrOverloaded means the bounded intake queue is full; the request was
+	// shed without being queued.
+	ErrOverloaded = errors.New("admission: engine overloaded, request shed")
+	// ErrTenantCap means this tenant already has TenantCap requests queued;
+	// the fairness cap sheds the excess so one tenant cannot monopolize the
+	// queue.
+	ErrTenantCap = errors.New("admission: per-tenant queue cap reached")
+	// ErrDuplicate means a request with the same name is already queued or
+	// committed in the domain.
+	ErrDuplicate = errors.New("admission: duplicate request name")
+	// ErrStopped means the engine is not accepting requests (not started,
+	// draining, or stopped).
+	ErrStopped = errors.New("admission: engine not accepting requests")
+	// ErrUnknownDomain means the request names a domain the engine does not
+	// serve.
+	ErrUnknownDomain = errors.New("admission: unknown domain")
+)
+
+// DefaultDomain is the domain used when Request.Domain is empty — the
+// single-operator deployments (ctrlplane) never need to name one.
+const DefaultDomain = "default"
+
+// Request is one tenant slice request offered to the engine.
+type Request struct {
+	// Domain routes the request to an operator domain (and therefore to a
+	// shard); empty means DefaultDomain.
+	Domain string
+	// Tenant is the fairness-accounting key; empty means Name.
+	Tenant string
+	// Name identifies the slice; unique among queued and committed slices
+	// of the domain (rejected and expired names may be reused).
+	Name string
+	// SLA carries the template, commercial terms and Duration (epochs).
+	SLA slice.SLA
+	// LambdaHat and Sigma are the forecast view; zero values mean the
+	// cold-start conservative (λ̂ = Λ, σ̂ = 1), exactly how the simulator
+	// treats slices with no monitored history.
+	LambdaHat float64
+	Sigma     float64
+}
+
+// tenantKey resolves the fairness key.
+func (r Request) tenantKey() string {
+	if r.Tenant != "" {
+		return r.Tenant
+	}
+	return r.Name
+}
+
+// Outcome is the engine's decision for one request.
+type Outcome struct {
+	Name     string
+	Admitted bool
+	// FastRejected marks prefilter rejections (no LP was solved).
+	FastRejected bool
+	// Reason explains a rejection ("" when admitted).
+	Reason string
+	// CU, Reserved and PathIdx carry the placement for admitted requests
+	// (per-BS reservation in Mb/s, per-BS path index into Paths[b][CU]).
+	CU       int
+	Reserved []float64
+	PathIdx  []int
+	// Round is the per-domain round sequence number that decided the
+	// request (0 for fast rejections, which never enter a round).
+	Round uint64
+	// Latency is submit-to-decision wall time.
+	Latency time.Duration
+}
+
+// Ticket is the caller's handle on a pending decision.
+type Ticket struct {
+	done chan struct{}
+	out  Outcome
+	err  error
+}
+
+func newTicket() *Ticket { return &Ticket{done: make(chan struct{})} }
+
+// resolve delivers the outcome; must be called exactly once.
+func (t *Ticket) resolve(out Outcome) {
+	t.out = out
+	close(t.done)
+}
+
+// fail delivers an error instead of an outcome; must be called exactly once.
+func (t *Ticket) fail(err error) {
+	t.err = err
+	close(t.done)
+}
+
+// Done is closed once the decision (or a terminal error) is available.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the decision is available or the context ends.
+func (t *Ticket) Wait(ctx context.Context) (Outcome, error) {
+	select {
+	case <-t.done:
+		return t.out, t.err
+	case <-ctx.Done():
+		return Outcome{}, ctx.Err()
+	}
+}
+
+// Outcome returns the decision without blocking; ok is false while the
+// request is still in flight (or when the ticket failed).
+func (t *Ticket) Outcome() (out Outcome, ok bool) {
+	select {
+	case <-t.done:
+		return t.out, t.err == nil
+	default:
+		return Outcome{}, false
+	}
+}
+
+// Err returns the terminal error, if any, once the ticket is done.
+func (t *Ticket) Err() error {
+	select {
+	case <-t.done:
+		return t.err
+	default:
+		return nil
+	}
+}
+
+// DomainConfig describes one operator domain the engine serves: its
+// topology, path budget and AC-RR algorithm.
+type DomainConfig struct {
+	Net    *topology.Network
+	KPaths int // k-shortest paths per (BS, CU); default 3
+	// Algorithm selects the solver: "benders" (default; warm cross-round
+	// session), "direct", "kac", or "no-overbooking".
+	Algorithm string
+	// BigM prices deficit capacity exactly as core.Instance.BigM; the
+	// default is 1e4. Negative disables the relaxation (hard capacity),
+	// which also arms the prefilter's capacity checks.
+	BigM float64
+	// RiskHorizon forwards to core.Instance.RiskHorizon (0 = default).
+	RiskHorizon int
+	// Benders tunes the warm session ("benders" only).
+	Benders core.BendersOptions
+}
+
+func (dc DomainConfig) withDefaults() (DomainConfig, error) {
+	if dc.Net == nil {
+		return dc, fmt.Errorf("admission: domain needs a topology")
+	}
+	if dc.KPaths == 0 {
+		dc.KPaths = 3
+	}
+	if dc.Algorithm == "" {
+		dc.Algorithm = "benders"
+	}
+	switch dc.Algorithm {
+	case "benders", "direct", "kac", "no-overbooking":
+	default:
+		return dc, fmt.Errorf("admission: unknown algorithm %q", dc.Algorithm)
+	}
+	if dc.BigM == 0 {
+		dc.BigM = 1e4
+	} else if dc.BigM < 0 {
+		dc.BigM = 0 // hard capacity constraints
+	}
+	return dc, nil
+}
+
+// overbook reports whether the domain's solver overbooks (everything but
+// the no-overbooking baseline).
+func (dc DomainConfig) overbook() bool { return dc.Algorithm != "no-overbooking" }
+
+// Config parameterizes the engine.
+type Config struct {
+	// Shards is the solver worker count; domains hash onto shards. Default 1.
+	Shards int
+	// QueueDepth bounds requests accepted but not yet decided; beyond it
+	// Submit sheds with ErrOverloaded. Default 1024.
+	QueueDepth int
+	// TenantCap bounds queued requests per tenant (fairness); default
+	// QueueDepth (no extra cap).
+	TenantCap int
+	// MaxBatch flushes a domain's batch into a round once it reaches this
+	// size; 0 disables size-triggered flushing (timer/manual only).
+	MaxBatch int
+	// FlushEvery flushes all non-empty batches on this period; 0 disables
+	// the timer (manual Flush/DecideRound only — the ctrlplane epoch mode).
+	FlushEvery time.Duration
+	// Store, when set, receives per-round metrics samples (slice
+	// "admission", metrics "round_batch", "round_ms", "queue_depth",
+	// element = domain name, epoch = the domain's round number).
+	Store *monitor.Store
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.TenantCap <= 0 {
+		c.TenantCap = c.QueueDepth
+	}
+	return c
+}
+
+// Round reports one executed admission round.
+type Round struct {
+	Domain string
+	// Seq is the domain's round sequence number.
+	Seq uint64
+	// Names lists the instance's tenants in solve order: committed slices
+	// in admission order, then the round's batch sorted by name.
+	Names []string
+	// Decision is the solver's full output, indexed like Names. Never nil
+	// on success (a tenantless round yields an empty decision).
+	Decision *core.Decision
+	// Admitted and Rejected partition the round's batch (not the
+	// already-committed slices, which stay admitted by constraint (13)).
+	Admitted, Rejected []string
+	// BatchSize is the number of fresh requests decided this round.
+	BatchSize int
+	// Err is the solver error, if any; the round decided nothing.
+	Err error
+}

@@ -1,0 +1,149 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/slice"
+	"repro/internal/topology"
+)
+
+// BenchmarkAdmissionThroughput measures end-to-end decisions per second —
+// submit, batch, solve, commit — for a fixed 8-domain online workload at
+// increasing shard counts. The single-shard run is the serial baseline the
+// multi-shard speedup is quoted against (EXPERIMENTS.md); decisions are
+// identical at every shard count (TestShardCountInvariance), so the only
+// thing that changes is wall clock.
+func BenchmarkAdmissionThroughput(b *testing.B) {
+	const (
+		domains   = 8
+		epochs    = 4
+		perEpoch  = 3 // fresh requests per domain per epoch
+		totalReqs = domains * epochs * perEpoch
+	)
+	types := []slice.Type{slice.EMBB, slice.URLLC, slice.MMTC}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := New(Config{Shards: shards, QueueDepth: 4 * totalReqs})
+				for d := 0; d < domains; d++ {
+					if err := e.AddDomain(fmt.Sprintf("op%d", d), DomainConfig{
+						Net: topology.Testbed(), Algorithm: "benders",
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := e.Start(); err != nil {
+					b.Fatal(err)
+				}
+				// One driver per domain: submissions, epoch rounds with
+				// forecast drift, lifecycle — the loadgen loop in miniature.
+				var wg sync.WaitGroup
+				for d := 0; d < domains; d++ {
+					wg.Add(1)
+					go func(d int) {
+						defer wg.Done()
+						dom := fmt.Sprintf("op%d", d)
+						for ep := 0; ep < epochs; ep++ {
+							for k := 0; k < perEpoch; k++ {
+								ty := types[(d+ep+k)%len(types)]
+								_, err := e.Submit(Request{
+									Domain: dom,
+									Name:   fmt.Sprintf("e%d-k%d", ep, k),
+									SLA:    slice.SLA{Template: slice.Table1(ty), Duration: 2}.WithPenaltyFactor(1),
+								})
+								if err != nil {
+									b.Error(err)
+									return
+								}
+							}
+							for _, name := range committedOf(b, e, dom) {
+								lh, sg := driftView(name, slice.SLA{Template: slice.Table1(slice.EMBB)}, ep)
+								if err := e.UpdateForecast(dom, name, lh, sg); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+							if _, err := e.DecideRound(dom); err != nil {
+								b.Error(err)
+								return
+							}
+							if _, err := e.Advance(dom); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(d)
+				}
+				wg.Wait()
+				if err := e.Drain(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				e.Stop()
+				if m := e.Metrics(); m.Submitted != totalReqs {
+					b.Fatalf("workload decided %d of %d requests (%+v)", m.Submitted, totalReqs, m)
+				}
+			}
+			b.ReportMetric(float64(totalReqs*b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
+// BenchmarkAdmissionBatching measures the cost of round granularity for K
+// concurrent requests: one-by-one incremental rounds (each a warm-session
+// re-entry against a mostly-pinned committed set) versus a single
+// coalesced round (one solve, but a master MILP with K free admission
+// binaries). The numbers put the trade-off on record: incremental rounds
+// are the cheap steady-state path, and the micro-batcher's flush knobs
+// exist to bound the solve rate under bursts — one round per flush period
+// no matter how many requests arrive — not to make a round cheaper.
+func BenchmarkAdmissionBatching(b *testing.B) {
+	const perWave = 8
+	types := []slice.Type{slice.EMBB, slice.URLLC, slice.MMTC}
+	run := func(b *testing.B, coalesce bool) {
+		for i := 0; i < b.N; i++ {
+			e := New(Config{QueueDepth: 4 * perWave})
+			if err := e.AddDomain("", DomainConfig{Net: topology.Testbed(), Algorithm: "benders"}); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Start(); err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < perWave; k++ {
+				_, err := e.Submit(Request{
+					Name: fmt.Sprintf("k%d", k),
+					SLA:  slice.SLA{Template: slice.Table1(types[k%len(types)]), Duration: 8}.WithPenaltyFactor(1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !coalesce {
+					if _, err := e.DecideRound(""); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if coalesce {
+				if _, err := e.DecideRound(""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			e.Stop()
+		}
+		b.ReportMetric(float64(perWave*b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+	b.Run(fmt.Sprintf("rounds=%d", perWave), func(b *testing.B) { run(b, false) })
+	b.Run("rounds=1", func(b *testing.B) { run(b, true) })
+}
+
+func committedOf(b *testing.B, e *Engine, domain string) []string {
+	b.Helper()
+	names, err := e.Committed(domain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return names
+}

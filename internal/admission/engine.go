@@ -1,0 +1,676 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/slice"
+	"repro/internal/topology"
+)
+
+// Engine is the online admission service. Construct with New, add domains
+// with AddDomain, then Start. Safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	mu        sync.Mutex
+	state     engineState
+	domains   map[string]*domain
+	shards    []*shard
+	nextShard int
+	queued    int            // accepted but undecided requests, all domains
+	perTenant map[string]int // queued per fairness key
+	met       metrics
+
+	// enq tracks callers between releasing mu and pushing a job onto a
+	// shard channel, so Stop never closes a channel under an in-flight send.
+	enq sync.WaitGroup
+	wg  sync.WaitGroup // shard + ticker goroutines
+
+	stopTicker chan struct{}
+}
+
+type engineState int
+
+const (
+	stateNew engineState = iota
+	stateRunning
+	stateDraining
+	stateStopped
+)
+
+// shard is one solver worker; a domain's rounds all run on its one shard.
+type shard struct {
+	id   int
+	jobs chan *roundJob
+}
+
+// roundJob is one admission round awaiting execution on a shard.
+type roundJob struct {
+	d     *domain
+	batch []pending
+	done  chan *Round // non-nil for synchronous DecideRound callers
+}
+
+// pending is one queued request.
+type pending struct {
+	req       Request
+	ticket    *Ticket
+	submitted time.Time
+}
+
+// member is one committed (admitted, unexpired) slice of a domain.
+type member struct {
+	name, tenant string
+	sla          slice.SLA
+	lambdaHat    float64
+	sigma        float64
+	remaining    int
+	cu           int
+	reserved     []float64
+	pathIdx      []int
+}
+
+// domain is one operator domain: its solver state lives on exactly one
+// shard; the batch buffer is guarded by Engine.mu, the solver state by dmu.
+// The two locks are never held together (engine-wide rule), so there is no
+// lock ordering to get wrong.
+type domain struct {
+	name   string
+	cfg    DomainConfig
+	shard  *shard
+	paths  [][][]topology.Path
+	filter prefilter
+
+	// Guarded by Engine.mu.
+	batch []pending
+	names map[string]bool // queued + committed names (duplicate guard)
+
+	// Guarded by dmu; in steady state only the owning shard takes it.
+	dmu       sync.Mutex
+	committed []*member
+	byName    map[string]*member
+	solveFn   func(*core.Instance) (*core.Decision, error)
+	rounds    uint64
+}
+
+// New builds an engine; AddDomain then Start before submitting.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:        cfg,
+		domains:    map[string]*domain{},
+		perTenant:  map[string]int{},
+		stopTicker: make(chan struct{}),
+		met:        newMetrics(),
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = &shard{id: i, jobs: make(chan *roundJob, 128)}
+	}
+	return e
+}
+
+// AddDomain installs an operator domain. Domains may be added before or
+// after Start; shards are assigned round-robin in registration order, so
+// the domain→shard map is deterministic for a fixed AddDomain sequence and
+// perfectly balanced at any domain count.
+func (e *Engine) AddDomain(name string, dc DomainConfig) error {
+	if name == "" {
+		name = DefaultDomain
+	}
+	dc, err := dc.withDefaults()
+	if err != nil {
+		return err
+	}
+	d := &domain{
+		name:   name,
+		cfg:    dc,
+		paths:  dc.Net.Paths(dc.KPaths),
+		names:  map[string]bool{},
+		byName: map[string]*member{},
+	}
+	d.filter = newPrefilter(dc, d.paths)
+	switch dc.Algorithm {
+	case "benders":
+		d.solveFn = core.NewBendersSession(dc.Benders).Solve
+	case "direct", "no-overbooking":
+		d.solveFn = core.SolveDirect
+	case "kac":
+		d.solveFn = func(inst *core.Instance) (*core.Decision, error) {
+			return core.SolveKAC(inst, core.KACOptions{})
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == stateStopped {
+		return ErrStopped
+	}
+	if _, dup := e.domains[name]; dup {
+		return fmt.Errorf("admission: domain %q already exists", name)
+	}
+	d.shard = e.shards[e.nextShard%len(e.shards)]
+	e.nextShard++
+	e.domains[name] = d
+	return nil
+}
+
+// Start launches the shard workers (and the flush ticker, if configured).
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != stateNew {
+		return fmt.Errorf("admission: engine already started")
+	}
+	e.state = stateRunning
+	for _, sh := range e.shards {
+		e.wg.Add(1)
+		go e.runShard(sh)
+	}
+	if e.cfg.FlushEvery > 0 {
+		e.wg.Add(1)
+		go e.runTicker()
+	}
+	return nil
+}
+
+// Submit offers one request. It returns a Ticket whose outcome resolves
+// when a round decides the request (immediately for prefilter fast
+// rejections), or an intake error: ErrOverloaded / ErrTenantCap when the
+// engine sheds, ErrDuplicate, ErrUnknownDomain, or ErrStopped.
+func (e *Engine) Submit(req Request) (*Ticket, error) {
+	if req.Domain == "" {
+		req.Domain = DefaultDomain
+	}
+	if req.Name == "" {
+		return nil, fmt.Errorf("admission: request needs a name")
+	}
+	tenant := req.tenantKey()
+	now := time.Now()
+
+	e.mu.Lock()
+	if e.state != stateRunning {
+		e.mu.Unlock()
+		return nil, ErrStopped
+	}
+	d := e.domains[req.Domain]
+	e.mu.Unlock()
+	if d == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDomain, req.Domain)
+	}
+	// The prefilter reads only immutable domain data, so its O(CU·BS·k)
+	// path scan runs outside the engine lock — intake stays concurrent
+	// across submitters even on large topologies.
+	infeasible := d.filter.reject(req)
+
+	e.mu.Lock()
+	if e.state != stateRunning {
+		e.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if d.names[req.Name] {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, req.Name)
+	}
+	e.met.submitted++
+	if infeasible != "" {
+		// Structurally infeasible: decided without touching the queue, a
+		// batch, or any LP. The name is not reserved — a corrected
+		// resubmission is welcome.
+		e.met.fastRejected++
+		e.mu.Unlock()
+		t := newTicket()
+		t.resolve(Outcome{Name: req.Name, FastRejected: true, Reason: infeasible})
+		return t, nil
+	}
+	if e.queued >= e.cfg.QueueDepth {
+		e.met.shed++
+		e.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	if e.perTenant[tenant] >= e.cfg.TenantCap {
+		e.met.shed++
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: tenant %q", ErrTenantCap, tenant)
+	}
+	t := newTicket()
+	e.queued++
+	e.perTenant[tenant]++
+	d.names[req.Name] = true
+	d.batch = append(d.batch, pending{req: req, ticket: t, submitted: now})
+	var flush []pending
+	if e.cfg.MaxBatch > 0 && len(d.batch) >= e.cfg.MaxBatch {
+		flush, d.batch = d.batch, nil
+	}
+	if flush != nil {
+		e.enq.Add(1)
+	}
+	e.mu.Unlock()
+
+	if flush != nil {
+		d.shard.jobs <- &roundJob{d: d, batch: flush}
+		e.enq.Done()
+	}
+	return t, nil
+}
+
+// Flush forces a round for every domain with a non-empty batch. It returns
+// after the rounds are enqueued, not after they are decided.
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	if e.state != stateRunning && e.state != stateDraining {
+		e.mu.Unlock()
+		return
+	}
+	var jobs []*roundJob
+	for _, name := range e.domainNamesLocked() {
+		d := e.domains[name]
+		if len(d.batch) > 0 {
+			var batch []pending
+			batch, d.batch = d.batch, nil
+			jobs = append(jobs, &roundJob{d: d, batch: batch})
+		}
+	}
+	e.enq.Add(len(jobs))
+	e.mu.Unlock()
+
+	for _, j := range jobs {
+		j.d.shard.jobs <- j
+		e.enq.Done()
+	}
+}
+
+// domainNamesLocked lists domains in sorted order (deterministic flushing).
+func (e *Engine) domainNamesLocked() []string {
+	names := make([]string, 0, len(e.domains))
+	for n := range e.domains {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DecideRound synchronously runs one admission round for the domain: the
+// current batch (possibly empty — committed reservations still re-optimize
+// against the latest forecasts) is decided on the domain's shard and the
+// full round report returned. This is the ctrlplane epoch entry point.
+func (e *Engine) DecideRound(domainName string) (*Round, error) {
+	if domainName == "" {
+		domainName = DefaultDomain
+	}
+	e.mu.Lock()
+	if e.state != stateRunning && e.state != stateDraining {
+		e.mu.Unlock()
+		return nil, ErrStopped
+	}
+	d := e.domains[domainName]
+	if d == nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDomain, domainName)
+	}
+	var batch []pending
+	batch, d.batch = d.batch, nil
+	e.enq.Add(1)
+	e.mu.Unlock()
+
+	job := &roundJob{d: d, batch: batch, done: make(chan *Round, 1)}
+	d.shard.jobs <- job
+	e.enq.Done()
+	r := <-job.done
+	if r.Err != nil {
+		return r, r.Err
+	}
+	return r, nil
+}
+
+// UpdateForecast installs a committed slice's current forecast view (λ̂, σ̂),
+// the input that lets the next round drift costs/RHS only and re-enter the
+// warm session instead of rebuilding it.
+func (e *Engine) UpdateForecast(domainName, name string, lambdaHat, sigma float64) error {
+	d, err := e.domain(domainName)
+	if err != nil {
+		return err
+	}
+	d.dmu.Lock()
+	defer d.dmu.Unlock()
+	m := d.byName[name]
+	if m == nil {
+		return fmt.Errorf("admission: no committed slice %q in domain %q", name, d.name)
+	}
+	m.lambdaHat = lambdaHat
+	m.sigma = sigma
+	return nil
+}
+
+// Advance ticks the domain's epoch clock: committed lifetimes decrement and
+// expired slices leave (their names become reusable). Returns the expired
+// names in admission order.
+func (e *Engine) Advance(domainName string) ([]string, error) {
+	d, err := e.domain(domainName)
+	if err != nil {
+		return nil, err
+	}
+	d.dmu.Lock()
+	var expired []string
+	keep := d.committed[:0]
+	for _, m := range d.committed {
+		m.remaining--
+		if m.remaining <= 0 {
+			expired = append(expired, m.name)
+			delete(d.byName, m.name)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	for i := len(keep); i < len(d.committed); i++ {
+		d.committed[i] = nil
+	}
+	d.committed = keep
+	d.dmu.Unlock()
+
+	if len(expired) > 0 {
+		e.mu.Lock()
+		for _, n := range expired {
+			delete(d.names, n)
+		}
+		e.mu.Unlock()
+	}
+	return expired, nil
+}
+
+// Paths returns the domain's precomputed k-shortest path sets — the same
+// P_{b,c} enumeration the rounds solve against, shared so callers (the
+// ctrlplane programming path) need not recompute it. Read-only.
+func (e *Engine) Paths(domainName string) ([][][]topology.Path, error) {
+	d, err := e.domain(domainName)
+	if err != nil {
+		return nil, err
+	}
+	return d.paths, nil
+}
+
+// Committed lists the domain's committed slice names in admission order.
+func (e *Engine) Committed(domainName string) ([]string, error) {
+	d, err := e.domain(domainName)
+	if err != nil {
+		return nil, err
+	}
+	d.dmu.Lock()
+	defer d.dmu.Unlock()
+	out := make([]string, len(d.committed))
+	for i, m := range d.committed {
+		out[i] = m.name
+	}
+	return out, nil
+}
+
+func (e *Engine) domain(name string) (*domain, error) {
+	if name == "" {
+		name = DefaultDomain
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := e.domains[name]
+	if d == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDomain, name)
+	}
+	return d, nil
+}
+
+// Drain stops intake, flushes every batch, and waits until all queued
+// requests are decided (or ctx ends). Committed state stays intact; the
+// engine still serves DecideRound/Advance until Stop.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if e.state == stateStopped {
+		e.mu.Unlock()
+		return nil
+	}
+	if e.state == stateNew {
+		e.mu.Unlock()
+		return fmt.Errorf("admission: drain before start")
+	}
+	e.state = stateDraining
+	e.mu.Unlock()
+
+	e.Flush()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		e.mu.Lock()
+		q := e.queued
+		e.mu.Unlock()
+		if q == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Stop terminates the engine. Undecided requests fail with ErrStopped
+// (call Drain first for a clean handover); shard workers finish any rounds
+// already enqueued, then exit.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.state == stateStopped {
+		e.mu.Unlock()
+		return
+	}
+	started := e.state != stateNew
+	e.state = stateStopped
+	var orphans []pending
+	for _, d := range e.domains {
+		for _, p := range d.batch {
+			delete(d.names, p.req.Name)
+			e.queued--
+			e.tenantDoneLocked(p.req.tenantKey())
+			e.met.shed++
+		}
+		orphans = append(orphans, d.batch...)
+		d.batch = nil
+	}
+	e.mu.Unlock()
+
+	for _, p := range orphans {
+		p.ticket.fail(ErrStopped)
+	}
+	if started {
+		// No new sends can start (state is stopped); wait out in-flight
+		// ones, then close the channels so workers drain and exit.
+		e.enq.Wait()
+		close(e.stopTicker)
+		for _, sh := range e.shards {
+			close(sh.jobs)
+		}
+		e.wg.Wait()
+	}
+}
+
+func (e *Engine) tenantDoneLocked(tenant string) {
+	if n := e.perTenant[tenant]; n <= 1 {
+		delete(e.perTenant, tenant)
+	} else {
+		e.perTenant[tenant] = n - 1
+	}
+}
+
+// runTicker drives timer-based flushing.
+func (e *Engine) runTicker() {
+	defer e.wg.Done()
+	tick := time.NewTicker(e.cfg.FlushEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stopTicker:
+			return
+		case <-tick.C:
+			e.Flush()
+		}
+	}
+}
+
+// runShard executes rounds until the job channel closes.
+func (e *Engine) runShard(sh *shard) {
+	defer e.wg.Done()
+	for job := range sh.jobs {
+		e.execRound(job)
+	}
+}
+
+// execRound runs one admission round: canonical instance assembly, one
+// solve on the domain's (warm) solver, commitment of admitted requests, and
+// outcome delivery.
+func (e *Engine) execRound(job *roundJob) {
+	d := job.d
+	start := time.Now()
+
+	// Canonical batch order: sorted by name, so the instance — and with the
+	// tie-broken solver, the decision — is independent of submission
+	// interleaving and flush timing for a given round set.
+	sort.Slice(job.batch, func(i, j int) bool { return job.batch[i].req.Name < job.batch[j].req.Name })
+
+	d.dmu.Lock()
+	r := &Round{Domain: d.name, Seq: d.rounds, BatchSize: len(job.batch)}
+	specs := make([]core.TenantSpec, 0, len(d.committed)+len(job.batch))
+	r.Names = make([]string, 0, cap(specs))
+	for _, m := range d.committed {
+		specs = append(specs, core.TenantSpec{
+			Name: m.name, SLA: m.sla,
+			LambdaHat: m.lambdaHat, Sigma: m.sigma,
+			RemainingEpochs: m.remaining,
+			Committed:       true, CommittedCU: m.cu,
+		})
+		r.Names = append(r.Names, m.name)
+	}
+	for _, p := range job.batch {
+		specs = append(specs, newTenantSpec(p.req))
+		r.Names = append(r.Names, p.req.Name)
+	}
+
+	var dec *core.Decision
+	var err error
+	if len(specs) == 0 {
+		dec = &core.Decision{} // nothing to decide, nothing to re-optimize
+	} else {
+		inst := &core.Instance{
+			Net: d.cfg.Net, Paths: d.paths, Tenants: specs,
+			Overbook: d.cfg.overbook(), BigM: d.cfg.BigM, RiskHorizon: d.cfg.RiskHorizon,
+		}
+		dec, err = d.solveFn(inst)
+	}
+
+	outcomes := make([]Outcome, len(job.batch))
+	if err != nil {
+		r.Err = fmt.Errorf("admission: round %d in domain %q: %w", r.Seq, d.name, err)
+	} else {
+		r.Decision = dec
+		// Committed slices stay admitted (constraint (13)); their
+		// reservations re-track the latest forecasts.
+		for i, m := range d.committed {
+			if dec.Accepted[i] {
+				m.cu = dec.CU[i]
+				m.reserved = append(m.reserved[:0], dec.Z[i]...)
+				m.pathIdx = append(m.pathIdx[:0], dec.PathIdx[i]...)
+			}
+		}
+		base := len(d.committed)
+		for bi, p := range job.batch {
+			ti := base + bi
+			out := Outcome{Name: p.req.Name, Round: r.Seq, Latency: time.Since(p.submitted)}
+			if dec.Accepted[ti] {
+				out.Admitted = true
+				out.CU = dec.CU[ti]
+				out.Reserved = append([]float64(nil), dec.Z[ti]...)
+				out.PathIdx = append([]int(nil), dec.PathIdx[ti]...)
+				m := &member{
+					name: p.req.Name, tenant: p.req.tenantKey(),
+					sla:       p.req.SLA,
+					lambdaHat: specs[ti].LambdaHat, sigma: specs[ti].Sigma,
+					remaining: specs[ti].RemainingEpochs,
+					cu:        out.CU,
+					reserved:  append([]float64(nil), dec.Z[ti]...),
+					pathIdx:   append([]int(nil), dec.PathIdx[ti]...),
+				}
+				d.committed = append(d.committed, m)
+				d.byName[m.name] = m
+				r.Admitted = append(r.Admitted, m.name)
+			} else {
+				out.Reason = "rejected by solver"
+				r.Rejected = append(r.Rejected, p.req.Name)
+			}
+			outcomes[bi] = out
+		}
+	}
+	d.rounds++
+	d.dmu.Unlock()
+
+	roundMs := float64(time.Since(start)) / float64(time.Millisecond)
+
+	e.mu.Lock()
+	for bi, p := range job.batch {
+		e.queued--
+		e.tenantDoneLocked(p.req.tenantKey())
+		switch {
+		case r.Err != nil:
+			e.met.failed++
+			delete(d.names, p.req.Name)
+		case outcomes[bi].Admitted:
+			e.met.admitted++
+		default:
+			e.met.rejected++
+			delete(d.names, p.req.Name) // rejected names may be re-offered
+		}
+		e.met.observeLatency(time.Since(p.submitted))
+	}
+	e.met.rounds++
+	e.met.batchSum += uint64(len(job.batch))
+	queueDepth := e.queued
+	e.mu.Unlock()
+
+	e.publishRound(d.name, r.Seq, len(job.batch), roundMs, queueDepth)
+
+	for bi, p := range job.batch {
+		if r.Err != nil {
+			p.ticket.fail(r.Err)
+		} else {
+			p.ticket.resolve(outcomes[bi])
+		}
+	}
+	if job.done != nil {
+		job.done <- r
+	}
+}
+
+// newTenantSpec maps a fresh request to the optimizer's view: cold-start
+// conservatism (λ̂ = Λ, σ̂ = 1) unless the caller supplied a forecast.
+func newTenantSpec(req Request) core.TenantSpec {
+	lam := req.SLA.RateMbps
+	lhat := req.LambdaHat
+	if lhat <= 0 {
+		lhat = lam
+	} else {
+		lhat = math.Min(lhat, lam)
+	}
+	sigma := req.Sigma
+	if sigma <= 0 || sigma > 1 {
+		sigma = 1
+	}
+	remaining := req.SLA.Duration
+	if remaining < 1 {
+		remaining = 1
+	}
+	return core.TenantSpec{
+		Name: req.Name, SLA: req.SLA,
+		LambdaHat: lhat, Sigma: sigma,
+		RemainingEpochs: remaining,
+	}
+}

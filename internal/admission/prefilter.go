@@ -1,0 +1,112 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// prefilter is the capacity-headroom fast path: a few float comparisons
+// that reject structurally infeasible requests at Submit time, before they
+// cost a queue slot, a batch slot, or an LP solve.
+//
+// The contract is strict one-sidedness: the prefilter only rejects requests
+// the solver itself would reject, so the engine's decisions remain
+// identical to a no-prefilter serial replay (pinned by the equality tests).
+// Two families of checks satisfy that contract:
+//
+//   - Delay connectivity, always on. Admission requires one CU serving
+//     every BS (constraint (6)); items only exist for paths within the
+//     request's delay bound (constraint (7) is applied by prefiltering in
+//     buildModel). A request whose delay bound leaves no CU with a feasible
+//     path from every BS can never have Accepted = true, whatever the
+//     load: the empty-sum side of the same-CU chain rows forces x = 0.
+//
+//   - Capacity floors, armed only when BigM == 0 (hard capacity). Each
+//     admitted slice must reserve at least its demand floor per BS — λ̂
+//     when overbooking, Λ otherwise (constraints (8)/(9)) — so a request
+//     whose floor exceeds a BS's total radio capacity, every delay-feasible
+//     path's bottleneck, or every CU's total CPU pool is infeasible even on
+//     an empty network. Under the big-M relaxation those constraints are
+//     soft (the solver could, in principle, lease deficit capacity), so the
+//     checks stay off and the LP keeps the last word.
+type prefilter struct {
+	net      *topology.Network
+	paths    [][][]topology.Path
+	overbook bool
+	hard     bool // BigM == 0: capacity constraints are hard
+
+	maxCUCores float64 // largest CPU pool over all CUs
+}
+
+func newPrefilter(dc DomainConfig, paths [][][]topology.Path) prefilter {
+	pf := prefilter{
+		net:      dc.Net,
+		paths:    paths,
+		overbook: dc.overbook(),
+		hard:     dc.BigM == 0,
+	}
+	for _, cu := range dc.Net.CUs {
+		pf.maxCUCores = math.Max(pf.maxCUCores, cu.CPUCores)
+	}
+	return pf
+}
+
+// reject returns a non-empty reason when the request is structurally
+// infeasible, "" when it must go to the solver.
+func (pf prefilter) reject(req Request) string {
+	bound := req.SLA.DelayBound
+	// Demand floor per BS: the least any admitted slice must reserve.
+	demand := req.SLA.RateMbps
+	if pf.overbook && req.LambdaHat > 0 {
+		demand = math.Min(req.LambdaHat, demand)
+	}
+
+	if !pf.feasibleCU(bound, 0) {
+		return "no delay-feasible CU reaches every BS"
+	}
+	if !pf.hard {
+		return ""
+	}
+	for b, bs := range pf.net.BSs {
+		if demand > bs.MaxBitrate()+1e-9 {
+			return fmt.Sprintf("demand %.1f Mb/s exceeds BS %d radio capacity %.1f Mb/s",
+				demand, b, bs.MaxBitrate())
+		}
+	}
+	if !pf.feasibleCU(bound, demand) {
+		return fmt.Sprintf("no delay-feasible CU with %.1f Mb/s of path headroom from every BS", demand)
+	}
+	cores := req.SLA.Compute.Cores(demand * float64(pf.net.NumBS()))
+	if cores > pf.maxCUCores+1e-9 {
+		return fmt.Sprintf("compute floor %.1f cores exceeds the largest CU pool %.1f", cores, pf.maxCUCores)
+	}
+	return ""
+}
+
+// feasibleCU reports whether some CU has, from every BS, a path within the
+// delay bound whose bottleneck carries demand (demand 0 = pure delay
+// check, the feasibleCU[t][c] condition of buildModel).
+func (pf prefilter) feasibleCU(bound, demand float64) bool {
+	for c := range pf.net.CUs {
+		ok := true
+		for b := range pf.net.BSs {
+			found := false
+			for _, p := range pf.paths[b][c] {
+				if p.Delay <= bound && p.CapMbps+1e-9 >= demand {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

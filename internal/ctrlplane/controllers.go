@@ -2,6 +2,7 @@ package ctrlplane
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -24,13 +25,37 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// decodeBody parses a JSON request body into v.
-func decodeBody(r *http.Request, v interface{}) error {
+// httpBodyError maps a decodeBody failure onto the right status: body-size
+// overruns are 413 (the client must truncate, not fix), everything else is
+// a plain 400.
+func httpBodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, err)
+}
+
+// maxBodyBytes caps every JSON request body: no control-plane document —
+// slice request, NS descriptor, domain programming — legitimately
+// approaches 1 MiB, and an unbounded read is an easy memory DoS.
+const maxBodyBytes = 1 << 20
+
+// decodeBody parses a JSON request body into v, strictly: bodies are
+// length-capped via http.MaxBytesReader (the writer is needed so the
+// connection is also closed on overrun), unknown fields are rejected, and
+// trailing garbage after the document fails the request.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
 	defer r.Body.Close()
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("ctrlplane: bad request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("ctrlplane: bad request body: trailing data after JSON document")
 	}
 	return nil
 }
@@ -49,8 +74,8 @@ func (c *RANController) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /shares", func(w http.ResponseWriter, r *http.Request) {
 		var cfg RadioConfig
-		if err := decodeBody(r, &cfg); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if err := decodeBody(w, r, &cfg); err != nil {
+			httpBodyError(w, err)
 			return
 		}
 		if len(cfg.ShareMHz) != len(c.dp.Radios) {
@@ -97,8 +122,8 @@ func (c *TransportController) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /flows", func(w http.ResponseWriter, r *http.Request) {
 		var cfg FlowConfig
-		if err := decodeBody(r, &cfg); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if err := decodeBody(w, r, &cfg); err != nil {
+			httpBodyError(w, err)
 			return
 		}
 		rules := make([]dataplane.FlowRule, len(cfg.Rules))
@@ -132,8 +157,8 @@ func (c *CloudController) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /stacks", func(w http.ResponseWriter, r *http.Request) {
 		var cfg StackConfig
-		if err := decodeBody(r, &cfg); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if err := decodeBody(w, r, &cfg); err != nil {
+			httpBodyError(w, err)
 			return
 		}
 		if cfg.CU < 0 || cfg.CU >= len(c.dp.CUs) {

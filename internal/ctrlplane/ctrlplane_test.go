@@ -45,6 +45,7 @@ func newStack(t *testing.T, algorithm string) *stack {
 		t.Fatal(err)
 	}
 	s.orch = orch
+	t.Cleanup(func() { orch.Close() }) //nolint:errcheck // engine worker teardown
 	s.orchSrv = httptest.NewServer(orch.Handler())
 	t.Cleanup(s.orchSrv.Close)
 

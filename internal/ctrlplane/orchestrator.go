@@ -2,7 +2,9 @@ package ctrlplane
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -10,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/forecast"
 	"repro/internal/monitor"
@@ -25,10 +28,19 @@ type OrchestratorConfig struct {
 	Algorithm string // "direct" | "benders" | "kac" | "no-overbooking"
 	HWPeriod  int    // Holt-Winters period in epochs; default 12
 
+	// Shards, QueueDepth and TenantCap parameterize the admission engine
+	// the orchestrator routes decisions through (internal/admission):
+	// solver worker count, bounded-intake depth, and the per-tenant
+	// fairness cap. Zero values take the engine defaults.
+	Shards     int
+	QueueDepth int
+	TenantCap  int
+
 	// Controller base URLs (e.g. "http://127.0.0.1:8181").
 	RANAddr, TransportAddr, CloudAddr string
 
-	// Store is the monitoring backend the collector writes into.
+	// Store is the monitoring backend the collector writes into; the
+	// admission engine publishes its round vitals into the same store.
 	Store *monitor.Store
 }
 
@@ -43,15 +55,21 @@ type orchSlice struct {
 	remaining int
 	fc        forecast.Forecaster
 	arrival   int
+	ticket    *admission.Ticket // pending decision handle
 }
 
 // Orchestrator is the paper's OVNES: admission control, resource
 // reservation, monitoring aggregation and forecasting behind one REST API.
-// It is deliberately the only stateful control-plane entity.
+// It is deliberately the only stateful control-plane entity. Admission and
+// reservation decisions route through an internal/admission engine: the
+// bounded intake backpressures Register, the prefilter fast-rejects
+// structurally infeasible requests, and each epoch's AC-RR instance is
+// solved on the engine's shard against a warm cross-epoch session.
 type Orchestrator struct {
 	cfg    OrchestratorConfig
 	paths  [][][]topology.Path
 	client *http.Client
+	eng    *admission.Engine
 
 	mu     sync.Mutex
 	epoch  int
@@ -60,7 +78,8 @@ type Orchestrator struct {
 }
 
 // NewOrchestrator builds the orchestrator; it precomputes the P_{b,c} path
-// sets offline exactly as §2.1.2 prescribes.
+// sets offline exactly as §2.1.2 prescribes and starts the admission
+// engine. Call Close to release the engine's workers.
 func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
 	if cfg.Net == nil {
 		return nil, fmt.Errorf("ctrlplane: orchestrator needs a topology")
@@ -74,12 +93,46 @@ func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = "direct"
 	}
+	eng := admission.New(admission.Config{
+		Shards:     cfg.Shards,
+		QueueDepth: cfg.QueueDepth,
+		TenantCap:  cfg.TenantCap,
+		Store:      cfg.Store,
+	})
+	if err := eng.AddDomain(admission.DefaultDomain, admission.DomainConfig{
+		Net:       cfg.Net,
+		KPaths:    cfg.KPaths,
+		Algorithm: cfg.Algorithm,
+	}); err != nil {
+		return nil, fmt.Errorf("ctrlplane: %w", err)
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	// Share the engine's path enumeration: program() must index paths with
+	// the PathIdx values the engine's decisions produced, so using the very
+	// same slice removes both the duplicate Yen run and any drift hazard.
+	paths, err := eng.Paths(admission.DefaultDomain)
+	if err != nil {
+		return nil, err
+	}
 	return &Orchestrator{
 		cfg:    cfg,
-		paths:  cfg.Net.Paths(cfg.KPaths),
+		paths:  paths,
 		client: &http.Client{Timeout: 10 * time.Second},
+		eng:    eng,
 		slices: map[string]*orchSlice{},
 	}, nil
+}
+
+// Close drains and stops the admission engine: queued requests are decided
+// (bounded by the context) and the solver workers exit.
+func (o *Orchestrator) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := o.eng.Drain(ctx)
+	o.eng.Stop()
+	return err
 }
 
 // Handler exposes the orchestrator's REST surface (SMan-Or northbound).
@@ -87,12 +140,17 @@ func (o *Orchestrator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /requests", func(w http.ResponseWriter, r *http.Request) {
 		var nsd NSDescriptor
-		if err := decodeBody(r, &nsd); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if err := decodeBody(w, r, &nsd); err != nil {
+			httpBodyError(w, err)
 			return
 		}
 		if err := o.Register(nsd.Request); err != nil {
-			httpError(w, http.StatusConflict, err)
+			status := http.StatusConflict
+			if errors.Is(err, admission.ErrOverloaded) || errors.Is(err, admission.ErrTenantCap) {
+				// Backpressure, not conflict: the tenant should retry later.
+				status = http.StatusTooManyRequests
+			}
+			httpError(w, status, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]string{"status": "pending"})
@@ -114,10 +172,17 @@ func (o *Orchestrator) Handler() http.Handler {
 		o.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]int{"epoch": e})
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, o.eng.Metrics())
+	})
 	return mux
 }
 
-// Register adds a tenant request in "pending" state.
+// Register routes a tenant request into the admission engine's bounded
+// intake. The slice appears as "pending" until the next epoch's round
+// decides it; structurally infeasible requests are fast-rejected by the
+// engine's prefilter without ever costing a solve, and an overloaded
+// engine sheds with admission.ErrOverloaded / ErrTenantCap.
 func (o *Orchestrator) Register(req SliceRequest) error {
 	tmpl, err := req.Template()
 	if err != nil {
@@ -136,12 +201,21 @@ func (o *Orchestrator) Register(req SliceRequest) error {
 		m = 1
 	}
 	sla := slice.SLA{Template: tmpl, Duration: req.DurationEpochs}.WithPenaltyFactor(m)
+	ticket, err := o.eng.Submit(admission.Request{
+		Tenant: req.Tenant,
+		Name:   req.Name,
+		SLA:    sla,
+	})
+	if err != nil {
+		return err
+	}
 	o.slices[req.Name] = &orchSlice{
 		req: req, tmpl: tmpl, sla: sla,
 		state:     "pending",
 		remaining: req.DurationEpochs,
 		fc:        forecast.NewAdaptive(0.5, 0.05, 0.15, o.cfg.HWPeriod),
 		arrival:   o.epoch,
+		ticket:    ticket,
 	}
 	o.order = append(o.order, req.Name)
 	return nil
@@ -151,72 +225,48 @@ func (o *Orchestrator) Register(req SliceRequest) error {
 func (o *Orchestrator) Statuses() []SliceStatus {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	out := make([]SliceStatus, 0, len(o.order))
-	for _, name := range o.order {
-		s := o.slices[name]
-		out = append(out, SliceStatus{
-			Name: name, Type: s.tmpl.Type.String(), State: s.state,
-			CU: s.cu, Reserved: append([]float64(nil), s.reserved...),
-			Remaining: s.remaining,
-		})
-	}
-	return out
+	return o.statusesLocked()
 }
 
 // RunEpoch executes one decision round: aggregate monitoring, forecast,
-// solve AC-RR, program the controllers, and advance slice lifecycles.
+// solve AC-RR through the admission engine's warm shard, program the
+// controllers, and advance slice lifecycles.
 func (o *Orchestrator) RunEpoch() (*EpochReport, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 
 	// 1. Monitoring feedback: feed each active slice's forecaster with the
-	// previous epoch's measured peak (max over κ samples and BSs).
-	if o.cfg.Store != nil && o.epoch > 0 {
-		for _, name := range o.order {
-			s := o.slices[name]
-			if s.state != "active" {
-				continue
-			}
+	// previous epoch's measured peak (max over κ samples and BSs), then
+	// hand the engine the fresh forecast view so the round's solve drifts
+	// costs/RHS against the warm session.
+	for _, name := range o.order {
+		s := o.slices[name]
+		if s.state != "active" {
+			continue
+		}
+		if o.cfg.Store != nil && o.epoch > 0 {
 			if peak, ok := o.cfg.Store.EpochPeak(name, "load_mbps", o.epoch-1); ok {
 				s.fc.Observe(peak)
 			}
 		}
-	}
-
-	// 2. Build the AC-RR instance: committed actives plus pendings.
-	var specs []core.TenantSpec
-	var names []string
-	for _, name := range o.order {
-		s := o.slices[name]
-		if s.state != "active" && s.state != "pending" {
-			continue
-		}
 		lamHat, sigma := s.sla.RateMbps, 1.0
-		if s.state == "active" {
-			if u := s.fc.Uncertainty(); u < 1 {
-				sigma = u
-				// The bare peak forecast, as the paper reserves (§5).
-				lamHat = math.Min(s.fc.Forecast(1)[0], s.sla.RateMbps)
-			}
+		if u := s.fc.Uncertainty(); u < 1 {
+			sigma = u
+			// The bare peak forecast, as the paper reserves (§5).
+			lamHat = math.Min(s.fc.Forecast(1)[0], s.sla.RateMbps)
 		}
-		specs = append(specs, core.TenantSpec{
-			Name: name, SLA: s.sla,
-			LambdaHat: lamHat, Sigma: sigma,
-			RemainingEpochs: s.remaining,
-			Committed:       s.state == "active",
-			CommittedCU:     s.cu,
-		})
-		names = append(names, name)
+		if err := o.eng.UpdateForecast(admission.DefaultDomain, name, lamHat, sigma); err != nil {
+			return nil, fmt.Errorf("ctrlplane: forecast for %s: %w", name, err)
+		}
 	}
 
-	inst := &core.Instance{
-		Net: o.cfg.Net, Paths: o.paths, Tenants: specs,
-		Overbook: o.cfg.Algorithm != "no-overbooking", BigM: 1e4,
-	}
-	dec, err := o.solve(inst)
+	// 2. One admission round: committed actives re-optimize, queued
+	// pendings are decided, all in a single warm solve on the engine shard.
+	round, err := o.eng.DecideRound(admission.DefaultDomain)
 	if err != nil {
 		return nil, err
 	}
+	dec := round.Decision
 
 	rep := &EpochReport{Epoch: o.epoch, NetRevenue: dec.Revenue(),
 		DeficitCost: 1e4 * (dec.DeficitRadio + dec.DeficitTransport + dec.DeficitCompute)}
@@ -229,8 +279,11 @@ func (o *Orchestrator) RunEpoch() (*EpochReport, error) {
 		delta float64
 	}
 	var prog []progItem
-	for ti, name := range names {
+	for ti, name := range round.Names {
 		s := o.slices[name]
+		if s == nil {
+			return nil, fmt.Errorf("ctrlplane: engine decided unknown slice %q", name)
+		}
 		if !dec.Accepted[ti] {
 			if s.state == "pending" {
 				s.state = "rejected"
@@ -248,6 +301,18 @@ func (o *Orchestrator) RunEpoch() (*EpochReport, error) {
 		}
 		prog = append(prog, progItem{name: name, ti: ti, delta: newTotal - oldTotal})
 	}
+	// Requests the prefilter fast-rejected never reached the round; their
+	// tickets are already resolved.
+	for _, name := range o.order {
+		s := o.slices[name]
+		if s.state != "pending" || s.ticket == nil {
+			continue
+		}
+		if out, ok := s.ticket.Outcome(); ok && out.FastRejected {
+			s.state = "rejected"
+			rep.Rejected = append(rep.Rejected, name)
+		}
+	}
 	sort.Slice(prog, func(i, j int) bool { return prog[i].delta < prog[j].delta })
 	for _, pi := range prog {
 		s := o.slices[pi.name]
@@ -262,19 +327,27 @@ func (o *Orchestrator) RunEpoch() (*EpochReport, error) {
 		s.reserved = append([]float64(nil), dec.Z[pi.ti]...)
 	}
 
-	// 4. Lifecycle: tick down, expire and tear down.
+	// 4. Lifecycle: the engine ticks committed lifetimes down; expired
+	// slices are torn out of every domain.
+	expired, err := o.eng.Advance(admission.DefaultDomain)
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range o.order {
 		s := o.slices[name]
-		if s.state != "active" {
-			continue
+		if s.state == "active" {
+			s.remaining--
 		}
-		s.remaining--
-		if s.remaining <= 0 {
-			s.state = "expired"
-			rep.Expired = append(rep.Expired, name)
-			if err := o.teardown(name); err != nil {
-				return nil, fmt.Errorf("ctrlplane: teardown %s: %w", name, err)
-			}
+	}
+	for _, name := range expired {
+		s := o.slices[name]
+		if s == nil || s.state != "active" {
+			return nil, fmt.Errorf("ctrlplane: engine expired unknown or inactive slice %q", name)
+		}
+		s.state = "expired"
+		rep.Expired = append(rep.Expired, name)
+		if err := o.teardown(name); err != nil {
+			return nil, fmt.Errorf("ctrlplane: teardown %s: %w", name, err)
 		}
 	}
 	o.epoch++
@@ -293,19 +366,6 @@ func (o *Orchestrator) statusesLocked() []SliceStatus {
 		})
 	}
 	return out
-}
-
-// solve dispatches to the configured AC-RR algorithm.
-func (o *Orchestrator) solve(inst *core.Instance) (*core.Decision, error) {
-	switch o.cfg.Algorithm {
-	case "direct", "no-overbooking":
-		return core.SolveDirect(inst)
-	case "benders":
-		return core.SolveBenders(inst, core.BendersOptions{})
-	case "kac":
-		return core.SolveKAC(inst, core.KACOptions{})
-	}
-	return nil, fmt.Errorf("ctrlplane: unknown algorithm %q", o.cfg.Algorithm)
 }
 
 // program pushes one slice's reservation to all three domain controllers

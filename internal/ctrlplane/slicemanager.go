@@ -38,8 +38,8 @@ func (m *SliceManager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /requests", func(w http.ResponseWriter, r *http.Request) {
 		var req SliceRequest
-		if err := decodeBody(r, &req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if err := decodeBody(w, r, &req); err != nil {
+			httpBodyError(w, err)
 			return
 		}
 		if req.Name == "" {

@@ -21,7 +21,10 @@ import "repro/internal/slice"
 // SliceRequest is the tenant-facing request Φτ = {s, Δ, Λ, L} plus
 // commercial terms, submitted to the slice manager.
 type SliceRequest struct {
-	Name           string  `json:"name"`
+	Name string `json:"name"`
+	// Tenant is the submitting tenant's identity, used by the admission
+	// engine's per-tenant fairness cap; empty means the slice name.
+	Tenant         string  `json:"tenant,omitempty"`
 	Type           string  `json:"type"`            // "eMBB" | "mMTC" | "uRLLC"
 	RateMbps       float64 `json:"rate_mbps"`       // Λ per radio site
 	DelayMs        float64 `json:"delay_ms"`        // Δ
