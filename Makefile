@@ -8,7 +8,7 @@ GO ?= go
 # catching wholesale test deletions or big untested subsystems.
 COVER_FLOOR ?= 75
 
-.PHONY: build test test-race vet fmt-check bench bench-smoke bench-json fuzz-smoke cover ci
+.PHONY: build test test-race vet fmt-check bench bench-smoke bench-json fuzz-smoke cover docs-check links-check smoke ci
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,7 @@ bench-smoke:
 # One file per PR (BENCH_JSON=BENCH_PR<n>.json) makes the repository's perf
 # trajectory diffable instead of being archaeology over CI logs. It also
 # subsumes bench-smoke: every benchmark path must still compile and run.
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > bench.raw || { rm -f bench.raw; exit 1; }
@@ -53,6 +53,34 @@ bench-json:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeTopology -fuzztime 10s ./internal/topology
 
+# docs-check fails when a package lacks its godoc: every internal/*
+# package must carry a doc.go opening with "// Package <name>", every
+# cmd/* binary a "// Command <name>" comment in main.go.
+docs-check:
+	@fail=0; \
+	for d in internal/*; do \
+		p=$$(basename $$d); \
+		grep -qs "^// Package $$p " $$d/doc.go || { echo "$$d: missing doc.go package comment (want '// Package $$p ...')"; fail=1; }; \
+	done; \
+	for d in cmd/*; do \
+		c=$$(basename $$d); \
+		grep -qs "^// Command $$c " $$d/main.go || { echo "$$d: missing '// Command $$c ...' comment in main.go"; fail=1; }; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi; \
+	echo "docs-check: every package documented"
+
+# links-check verifies every relative link in the repo's markdown files
+# resolves to an existing file (external URLs are deliberately skipped:
+# CI must not depend on the network).
+links-check:
+	$(GO) run ./cmd/mdcheck
+
+# smoke executes the README quickstart commands end to end (CI-fast
+# variants where the documented command also offers a longer mode), so a
+# stale flag or path in the docs fails the build, not the reader.
+smoke:
+	./scripts/smoke.sh
+
 # cover enforces the statement-coverage floor over the whole module.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -61,4 +89,4 @@ cover:
 	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN{exit !(t>=f)}' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-ci: build vet fmt-check test-race cover fuzz-smoke bench-json
+ci: build vet fmt-check docs-check links-check test-race cover fuzz-smoke smoke bench-json

@@ -2,19 +2,33 @@
 // scale: it expands a scenario archetype's arrival process (Poisson,
 // bursty, flash-crowd, batch) into per-epoch request streams for D
 // independent operator domains, submits them concurrently, runs one
-// admission round per (domain, epoch) with deterministic forecast drift,
-// and reports end-to-end throughput plus the engine's metrics snapshot.
+// admission round per (domain, epoch), and reports end-to-end throughput
+// plus the engine's metrics snapshot.
 //
 // Usage:
 //
 //	loadgen [-scenario flash-crowd] [-seed 42] [-domains 8] [-shards 0]
 //	        [-epochs 0] [-tenants 0] [-algo ""] [-queue 1024] [-tenant-cap 0]
-//	        [-reoffer]
+//	        [-reoffer] [-mode drift]
 //
-// -shards 0 means one shard per CPU. Identical (scenario, seed, domains)
-// invocations make identical decisions at any shard count — the engine's
-// determinism contract — so loadgen doubles as a quick cross-machine
-// consistency check: compare the printed per-domain admit counts.
+// -mode selects the forecast feed:
+//
+//	drift   deterministic synthetic (λ̂, σ̂) oscillation — the warm-rebind
+//	        stress mode loadgen has always run (no measured traffic);
+//	closed  the full closed loop (internal/reopt): each domain draws the
+//	        scenario's actual per-BS traffic into a monitoring store, the
+//	        controller feeds forecasters, rescales reservations online and
+//	        settles realized yield, reported per domain;
+//	static  the closed-loop machinery with forecast-driven reoptimization
+//	        disabled: the overbooking-free baseline to compare `closed`
+//	        against (same traffic, same seeds — the yield delta is the
+//	        paper's headline number, measured live).
+//
+// -shards 0 means one shard per CPU. Identical (scenario, seed, domains,
+// mode) invocations make identical decisions at any shard count — the
+// engine's determinism contract — so loadgen doubles as a quick
+// cross-machine consistency check: compare the printed per-domain admit
+// counts (and, in closed/static modes, the realized yield).
 package main
 
 import (
@@ -28,9 +42,13 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/monitor"
+	"repro/internal/reopt"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/slice"
+	"repro/internal/traffic"
+	"repro/internal/yield"
 )
 
 func main() {
@@ -48,8 +66,14 @@ func main() {
 		queue     = flag.Int("queue", 1024, "bounded intake depth (requests)")
 		tenantCap = flag.Int("tenant-cap", 0, "per-tenant fairness cap (0 = queue depth)")
 		reoffer   = flag.Bool("reoffer", false, "re-offer rejected requests every epoch")
+		mode      = flag.String("mode", "drift", "forecast feed: drift | closed | static")
 	)
 	flag.Parse()
+	switch *mode {
+	case "drift", "closed", "static":
+	default:
+		log.Fatalf("unknown -mode %q (want drift, closed or static)", *mode)
+	}
 
 	spec, err := scenario.ByName(*name)
 	if err != nil {
@@ -98,17 +122,19 @@ func main() {
 	log.Printf("scenario=%s domains=%d shards=%d epochs=%d tenants/domain=%d algo=%s",
 		spec.Name, *domains, *shards, nEpochs, len(cfgs[0].Slices), spec.Algorithm)
 
-	type domStats struct {
-		admitted, rejected, shed int
-	}
 	stats := make([]domStats, *domains)
+	yields := make([]yield.Summary, *domains)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for d := 0; d < *domains; d++ {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			driveDomain(eng, domName(d), cfgs[d], *reoffer, &stats[d].admitted, &stats[d].rejected, &stats[d].shed)
+			if *mode == "drift" {
+				driveDomain(eng, domName(d), cfgs[d], *reoffer, &stats[d])
+				return
+			}
+			yields[d] = driveDomainClosed(eng, domName(d), cfgs[d], *reoffer, *mode == "static", &stats[d])
 		}(d)
 	}
 	wg.Wait()
@@ -119,9 +145,25 @@ func main() {
 	eng.Stop()
 
 	m := eng.Metrics()
-	fmt.Println("domain\tadmitted\trejected\tshed")
-	for d := 0; d < *domains; d++ {
-		fmt.Printf("%s\t%d\t%d\t%d\n", domName(d), stats[d].admitted, stats[d].rejected, stats[d].shed)
+	if *mode == "drift" {
+		fmt.Println("domain\tadmitted\trejected\tshed")
+		for d := 0; d < *domains; d++ {
+			fmt.Printf("%s\t%d\t%d\t%d\n", domName(d), stats[d].admitted, stats[d].rejected, stats[d].shed)
+		}
+	} else {
+		fmt.Println("domain\tadmitted\trejected\tshed\trealized\treward\tpenalty\tviol_prob\trescaled")
+		var tot yield.Summary
+		for d := 0; d < *domains; d++ {
+			y := yields[d]
+			fmt.Printf("%s\t%d\t%d\t%d\t%.4g\t%.4g\t%.4g\t%.3g\t%d\n",
+				domName(d), stats[d].admitted, stats[d].rejected, stats[d].shed,
+				y.Realized, y.Reward, y.Penalty, y.ViolationProb, stats[d].rescaled)
+			tot.Realized += y.Realized
+			tot.Reward += y.Reward
+			tot.Penalty += y.Penalty
+		}
+		fmt.Printf("# mode=%s total realized=%.6g (reward=%.6g penalty=%.6g) across %d domains\n",
+			*mode, tot.Realized, tot.Reward, tot.Penalty, *domains)
 	}
 	decided := m.Admitted + m.Rejected + m.FastRejected // shed requests were never decided
 	fmt.Printf("# decided %d requests in %v → %.0f req/s (admitted=%d rejected=%d fast_rejected=%d shed=%d)\n",
@@ -134,47 +176,178 @@ func main() {
 
 func domName(d int) string { return fmt.Sprintf("op%d", d) }
 
-// driveDomain replays one domain's compiled arrival stream: per epoch it
-// submits the epoch's arrivals concurrently, drifts committed forecasts
-// deterministically, runs the round, optionally re-offers rejections, and
-// advances lifecycles.
-func driveDomain(eng *admission.Engine, dom string, cfg sim.Config, reoffer bool, admitted, rejected, shed *int) {
-	type pendingReq struct {
-		req admission.Request
-		tk  *admission.Ticket
+// domStats is one domain's request accounting.
+type domStats struct {
+	admitted, rejected, shed, rescaled int
+}
+
+// driveDomainClosed replays one domain's arrival stream through the full
+// closed loop: the scenario's actual traffic is drawn into a per-domain
+// monitoring store, and a reopt.Controller settles yield, feeds the
+// forecasters and rescales reservations each epoch (static=true freezes
+// the forecasts — same rounds, no rescaling — for the baseline run).
+// Returns the domain's realized-yield account.
+func driveDomainClosed(eng *admission.Engine, dom string, cfg sim.Config, reoffer, static bool, st *domStats) yield.Summary {
+	if cfg.SamplesPerEpoch == 0 {
+		cfg.SamplesPerEpoch = 12 // loadgen plays the data plane, so the sim default is applied here
 	}
+	store := monitor.NewStore(0)
+	reoptEvery := 1
+	if static {
+		reoptEvery = -1
+	}
+	ctrl, err := reopt.New(reopt.Config{
+		Engine: eng, Domain: dom, Store: store,
+		HWPeriod: cfg.HWPeriod, ReoptEvery: reoptEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	specOf := map[string]sim.SliceSpec{}
+	for _, sp := range cfg.Slices {
+		specOf[sp.Name] = sp
+	}
+	gens := map[string][]traffic.Generator{}
 	var inflight []pendingReq
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		var offers []admission.Request
-		for _, sp := range cfg.Slices {
-			if sp.ArrivalEpoch != epoch {
-				continue
-			}
-			sla := slice.SLA{Template: sp.Template, MeanMbps: sp.MeanMbps, Duration: sp.Duration}.
-				WithPenaltyFactor(sp.PenaltyFactor)
-			offers = append(offers, admission.Request{Domain: dom, Name: sp.Name, SLA: sla})
+		inflight = submitAll(eng, epochOffers(dom, cfg, epoch), st, inflight)
+
+		rep, err := ctrl.Step()
+		if err != nil {
+			log.Fatal(err)
 		}
-		tks := make([]*admission.Ticket, len(offers))
-		var wg sync.WaitGroup
-		for i := range offers {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				tk, err := eng.Submit(offers[i])
-				if err != nil {
-					return // shed (counted below by tks[i] == nil)
+		st.rescaled += rep.Rescaled
+
+		// Admitted slices start generating traffic from their own seeds.
+		inflight = harvest(eng, inflight, reoffer, st, func(name string) {
+			sp := specOf[name]
+			gs := make([]traffic.Generator, cfg.Net.NumBS())
+			for b := range gs {
+				gs[b] = sim.NewGenerator(cfg, sp, b)
+			}
+			gens[name] = gs
+		})
+
+		// Play the data plane: this epoch's measured traffic, per BS. A
+		// slice expiring with this epoch still served it (the controller's
+		// in-force snapshot keeps it on the books until the next settle),
+		// so its generators are torn down only after the traffic played.
+		for name, gs := range gens {
+			for b, g := range gs {
+				for theta := 0; theta < cfg.SamplesPerEpoch; theta++ {
+					store.Add(monitor.Sample{
+						Slice: name, Metric: monitor.LoadMetric, Element: monitor.BSElement(b),
+						Epoch: epoch, Theta: theta, Value: g.Sample(epoch, theta),
+					})
 				}
-				tks[i] = tk
-			}(i)
-		}
-		wg.Wait()
-		for i := range offers {
-			if tks[i] == nil {
-				*shed++
-				continue
 			}
-			inflight = append(inflight, pendingReq{req: offers[i], tk: tks[i]})
 		}
+		for _, name := range rep.Expired {
+			delete(gens, name)
+		}
+	}
+	drainInflight(inflight, st)
+	return ctrl.Ledger().Snapshot()
+}
+
+// pendingReq is one offered request and its in-flight decision ticket.
+type pendingReq struct {
+	req admission.Request
+	tk  *admission.Ticket
+}
+
+// epochOffers builds the epoch's arrival requests for one domain from the
+// compiled scenario.
+func epochOffers(dom string, cfg sim.Config, epoch int) []admission.Request {
+	var offers []admission.Request
+	for _, sp := range cfg.Slices {
+		if sp.ArrivalEpoch != epoch {
+			continue
+		}
+		sla := slice.SLA{Template: sp.Template, MeanMbps: sp.MeanMbps, Duration: sp.Duration}.
+			WithPenaltyFactor(sp.PenaltyFactor)
+		offers = append(offers, admission.Request{Domain: dom, Name: sp.Name, SLA: sla})
+	}
+	return offers
+}
+
+// submitAll offers the batch concurrently; shed requests (intake errors)
+// are counted, accepted ones join the in-flight set.
+func submitAll(eng *admission.Engine, offers []admission.Request, st *domStats, inflight []pendingReq) []pendingReq {
+	tks := make([]*admission.Ticket, len(offers))
+	var wg sync.WaitGroup
+	for i := range offers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tk, err := eng.Submit(offers[i])
+			if err != nil {
+				return // shed (tks[i] stays nil, counted below)
+			}
+			tks[i] = tk
+		}(i)
+	}
+	wg.Wait()
+	for i := range offers {
+		if tks[i] == nil {
+			st.shed++
+			continue
+		}
+		inflight = append(inflight, pendingReq{req: offers[i], tk: tks[i]})
+	}
+	return inflight
+}
+
+// harvest scans the in-flight set after a round: admissions are counted
+// (and handed to onAdmit), rejections re-offered or counted, undecided
+// tickets carried to the next epoch.
+func harvest(eng *admission.Engine, inflight []pendingReq, reoffer bool, st *domStats, onAdmit func(name string)) []pendingReq {
+	var still []pendingReq
+	for _, p := range inflight {
+		out, ok := p.tk.Outcome()
+		if !ok {
+			still = append(still, p) // decided by a later round
+			continue
+		}
+		switch {
+		case out.Admitted:
+			st.admitted++
+			if onAdmit != nil {
+				onAdmit(p.req.Name)
+			}
+		case reoffer:
+			if tk, err := eng.Submit(p.req); err == nil {
+				still = append(still, pendingReq{req: p.req, tk: tk})
+			} else {
+				st.shed++
+			}
+		default:
+			st.rejected++
+		}
+	}
+	return still
+}
+
+// drainInflight books the end-of-run outcomes of whatever is still queued.
+func drainInflight(inflight []pendingReq, st *domStats) {
+	for _, p := range inflight {
+		if out, ok := p.tk.Outcome(); ok && out.Admitted {
+			st.admitted++
+		} else {
+			st.rejected++
+		}
+	}
+}
+
+// driveDomain replays one domain's compiled arrival stream in drift mode:
+// per epoch it submits the epoch's arrivals concurrently, drifts committed
+// forecasts deterministically, runs the round, optionally re-offers
+// rejections, and advances lifecycles.
+func driveDomain(eng *admission.Engine, dom string, cfg sim.Config, reoffer bool, st *domStats) {
+	var inflight []pendingReq
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		inflight = submitAll(eng, epochOffers(dom, cfg, epoch), st, inflight)
 
 		names, err := eng.Committed(dom)
 		if err != nil {
@@ -189,39 +362,12 @@ func driveDomain(eng *admission.Engine, dom string, cfg sim.Config, reoffer bool
 		if _, err := eng.DecideRound(dom); err != nil {
 			log.Fatal(err)
 		}
-
-		var still []pendingReq
-		for _, p := range inflight {
-			out, ok := p.tk.Outcome()
-			if !ok {
-				still = append(still, p) // decided by a later round
-				continue
-			}
-			if out.Admitted {
-				*admitted++
-			} else if reoffer {
-				tk, err := eng.Submit(p.req)
-				if err == nil {
-					still = append(still, pendingReq{req: p.req, tk: tk})
-				} else {
-					*shed++
-				}
-			} else {
-				*rejected++
-			}
-		}
-		inflight = still
+		inflight = harvest(eng, inflight, reoffer, st, nil)
 		if _, err := eng.Advance(dom); err != nil {
 			log.Fatal(err)
 		}
 	}
-	for _, p := range inflight {
-		if out, ok := p.tk.Outcome(); ok && out.Admitted {
-			*admitted++
-		} else {
-			*rejected++
-		}
-	}
+	drainInflight(inflight, st)
 }
 
 // drift is the deterministic forecast stand-in (loadgen has no measured

@@ -1,0 +1,89 @@
+// Command mdcheck is the repository's markdown link checker: it walks
+// every *.md file (skipping .git and vendor-ish directories), extracts
+// inline links and images, and fails — listing every offender — when a
+// relative link points at a file that does not exist. External links
+// (http, https, mailto) are out of scope: CI must not depend on the
+// network, and the docs' local cross-references (README → ARCHITECTURE →
+// DESIGN → EXPERIMENTS) are what rot silently.
+//
+// Usage:
+//
+//	mdcheck [root]   # default root "."
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links/images: [text](target) / ![alt](target).
+// Reference-style definitions ("[x]: target") are rare here and external.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "node_modules" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(b), -1) {
+			target := m[1]
+			if isExternal(target) {
+				continue
+			}
+			// Strip a #fragment; a bare "#section" link targets its own file.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s: broken link %q (resolved %s)\n", path, m[1], resolved)
+				broken++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdcheck:", err)
+		os.Exit(2)
+	}
+	if broken > 0 {
+		fmt.Printf("mdcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Println("mdcheck: all markdown links resolve")
+}
+
+func isExternal(target string) bool {
+	for _, p := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, p) {
+			return true
+		}
+	}
+	return false
+}

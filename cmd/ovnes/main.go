@@ -8,11 +8,14 @@
 //
 //	ovnes [-listen 127.0.0.1:8080] [-collector 127.0.0.1:6343] \
 //	      [-topology testbed|romanian|swiss|italian] [-nbs 4] [-algo direct] \
-//	      [-shards 1] [-queue 1024]
+//	      [-shards 1] [-queue 1024] [-epoch-every 0]
 //
 // Endpoints (orchestrator): POST /requests, POST /epoch, GET /slices,
-// GET /epoch, GET /metrics. The controllers listen on consecutive ports
-// after -listen.
+// GET /epoch, GET /metrics, GET /yield. The controllers listen on
+// consecutive ports after -listen. With -epoch-every > 0 the closed loop
+// (internal/reopt) runs one epoch per period on its own — monitoring
+// feeds forecasts, reservations rescale, realized yield settles — and
+// POST /epoch just inserts extra epochs.
 //
 // SIGINT/SIGTERM shut the stack down gracefully: listeners stop accepting,
 // in-flight HTTP requests finish, the admission engine drains its queue,
@@ -43,13 +46,14 @@ func main() {
 	log.SetPrefix("ovnes: ")
 
 	var (
-		listen    = flag.String("listen", "127.0.0.1:8080", "orchestrator address; controllers bind the next three ports")
-		collector = flag.String("collector", "127.0.0.1:6343", "UDP monitoring collector address")
-		topoName  = flag.String("topology", "testbed", "testbed | romanian | swiss | italian")
-		nbs       = flag.Int("nbs", 4, "BS count for operator topologies (0 = full size)")
-		algo      = flag.String("algo", "direct", "direct | benders | kac | no-overbooking")
-		shards    = flag.Int("shards", 1, "admission engine solver workers")
-		queue     = flag.Int("queue", 1024, "admission engine intake depth")
+		listen     = flag.String("listen", "127.0.0.1:8080", "orchestrator address; controllers bind the next three ports")
+		collector  = flag.String("collector", "127.0.0.1:6343", "UDP monitoring collector address")
+		topoName   = flag.String("topology", "testbed", "testbed | romanian | swiss | italian")
+		nbs        = flag.Int("nbs", 4, "BS count for operator topologies (0 = full size)")
+		algo       = flag.String("algo", "direct", "direct | benders | kac | no-overbooking")
+		shards     = flag.Int("shards", 1, "admission engine solver workers")
+		queue      = flag.Int("queue", 1024, "admission engine intake depth")
+		epochEvery = flag.Duration("epoch-every", 0, "run the closed loop on this wall-clock period (0 = epochs only via POST /epoch)")
 	)
 	flag.Parse()
 
@@ -112,6 +116,14 @@ func main() {
 		log.Fatal(err)
 	}
 	serve(*listen, fmt.Sprintf("E2E orchestrator (%s, %s)", net_.Name, *algo), orch.Handler())
+	if *epochEvery > 0 {
+		log.Printf("closed loop: one epoch every %v", *epochEvery)
+		go func() {
+			if err := orch.RunLoop(ctx, *epochEvery); err != nil {
+				errc <- fmt.Errorf("closed loop: %w", err)
+			}
+		}()
+	}
 
 	fatal := false
 	select {

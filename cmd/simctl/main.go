@@ -5,10 +5,12 @@
 //
 //	simctl -experiment fig5 [-nbs 4] [-tenants 10] [-epochs 16] [-algo direct]
 //	simctl -experiment fig4 -full        # full 198/197/200-BS topologies
-//	simctl -experiment all               # everything, CI-sized
+//	simctl -experiment all               # every artifact back to back
 //
 // Output is tab-separated, one block per figure panel, suitable for
-// gnuplot or a spreadsheet.
+// gnuplot or a spreadsheet. EXPERIMENTS.md lists the measured runtime of
+// every invocation; the exact solver on the default fig5/fig6 grids runs
+// ~15 min on one core — pass -algo kac for the ~2-min heuristic pass.
 package main
 
 import (

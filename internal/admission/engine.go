@@ -332,19 +332,80 @@ func (e *Engine) DecideRound(domainName string) (*Round, error) {
 // the input that lets the next round drift costs/RHS only and re-enter the
 // warm session instead of rebuilding it.
 func (e *Engine) UpdateForecast(domainName, name string, lambdaHat, sigma float64) error {
+	return e.UpdateForecasts(domainName, []ForecastUpdate{{Name: name, LambdaHat: lambdaHat, Sigma: sigma}})
+}
+
+// ForecastUpdate is one slice's fresh forecast view for UpdateForecasts.
+type ForecastUpdate struct {
+	Name      string
+	LambdaHat float64
+	Sigma     float64
+}
+
+// UpdateForecasts installs a batch of forecast views under one lock take —
+// the closed-loop controller's per-epoch path, where every committed slice
+// of the domain refreshes at once. Either all updates apply or none do
+// (an unknown name fails the batch before any view is written).
+func (e *Engine) UpdateForecasts(domainName string, ups []ForecastUpdate) error {
 	d, err := e.domain(domainName)
 	if err != nil {
 		return err
 	}
 	d.dmu.Lock()
 	defer d.dmu.Unlock()
-	m := d.byName[name]
-	if m == nil {
-		return fmt.Errorf("admission: no committed slice %q in domain %q", name, d.name)
+	for _, u := range ups {
+		if d.byName[u.Name] == nil {
+			return fmt.Errorf("admission: no committed slice %q in domain %q", u.Name, d.name)
+		}
 	}
-	m.lambdaHat = lambdaHat
-	m.sigma = sigma
+	for _, u := range ups {
+		m := d.byName[u.Name]
+		m.lambdaHat = u.LambdaHat
+		m.sigma = u.Sigma
+	}
 	return nil
+}
+
+// CommittedSlice is one committed slice's full engine-side state, the view
+// the closed-loop controller scores yield against and refreshes forecasts
+// for. Reserved and PathIdx are copies; mutating them changes nothing.
+type CommittedSlice struct {
+	Name   string
+	Tenant string
+	SLA    slice.SLA
+	// LambdaHat and Sigma are the forecast view the last round solved with.
+	LambdaHat float64
+	Sigma     float64
+	// Remaining is the lifetime left in epochs; CU the pinned placement.
+	Remaining int
+	CU        int
+	// Reserved is the per-BS reservation z (Mb/s) from the latest round;
+	// PathIdx the per-BS path choice into Paths(domain)[bs][CU].
+	Reserved []float64
+	PathIdx  []int
+}
+
+// CommittedDetail lists the domain's committed slices in admission order
+// with their SLAs, forecast views and live reservations — the ledger hook:
+// everything needed to assess realized yield against what is reserved.
+func (e *Engine) CommittedDetail(domainName string) ([]CommittedSlice, error) {
+	d, err := e.domain(domainName)
+	if err != nil {
+		return nil, err
+	}
+	d.dmu.Lock()
+	defer d.dmu.Unlock()
+	out := make([]CommittedSlice, len(d.committed))
+	for i, m := range d.committed {
+		out[i] = CommittedSlice{
+			Name: m.name, Tenant: m.tenant, SLA: m.sla,
+			LambdaHat: m.lambdaHat, Sigma: m.sigma,
+			Remaining: m.remaining, CU: m.cu,
+			Reserved: append([]float64(nil), m.reserved...),
+			PathIdx:  append([]int(nil), m.pathIdx...),
+		}
+	}
+	return out, nil
 }
 
 // Advance ticks the domain's epoch clock: committed lifetimes decrement and
@@ -614,6 +675,9 @@ func (e *Engine) execRound(job *roundJob) {
 	d.dmu.Unlock()
 
 	roundMs := float64(time.Since(start)) / float64(time.Millisecond)
+	if r.Err == nil && e.cfg.Ledger != nil {
+		e.cfg.Ledger.BookExpected(d.name, dec.Revenue())
+	}
 
 	e.mu.Lock()
 	for bi, p := range job.batch {
@@ -636,7 +700,11 @@ func (e *Engine) execRound(job *roundJob) {
 	queueDepth := e.queued
 	e.mu.Unlock()
 
-	e.publishRound(d.name, r.Seq, len(job.batch), roundMs, queueDepth)
+	expected := 0.0
+	if r.Err == nil {
+		expected = dec.Revenue()
+	}
+	e.publishRound(d.name, r.Seq, len(job.batch), roundMs, queueDepth, expected)
 
 	for bi, p := range job.batch {
 		if r.Err != nil {

@@ -109,7 +109,7 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 // (§2.2.2's store), tagged per domain with the round number as the epoch:
 // the same backend that carries slice load samples carries the serving
 // layer's own health.
-func (e *Engine) publishRound(domain string, seq uint64, batch int, roundMs float64, queueDepth int) {
+func (e *Engine) publishRound(domain string, seq uint64, batch int, roundMs float64, queueDepth int, expected float64) {
 	if e.cfg.Store == nil {
 		return
 	}
@@ -125,5 +125,12 @@ func (e *Engine) publishRound(domain string, seq uint64, batch int, roundMs floa
 	e.cfg.Store.Add(monitor.Sample{
 		Slice: "admission", Metric: "queue_depth", Element: domain,
 		Epoch: epoch, Value: float64(queueDepth),
+	})
+	// The solver's own estimate of the round's net revenue (−Ψ): with the
+	// realized side booked by the closed loop, the store carries both
+	// halves of the yield comparison the paper's Fig. 8 makes.
+	e.cfg.Store.Add(monitor.Sample{
+		Slice: "admission", Metric: "round_expected_revenue", Element: domain,
+		Epoch: epoch, Value: expected,
 	})
 }

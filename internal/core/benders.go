@@ -273,7 +273,27 @@ func SolveBenders(inst *Instance, opts BendersOptions) (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
-	return bendersSolve(m, m.buildSlave(), opts.withDefaults(), nil)
+	d, err := bendersSolve(m, m.buildSlave(), opts.withDefaults(), nil)
+	if err != nil {
+		// Numerical distress even without carried state: fall back to the
+		// monolithic oracle. A cold Benders run is a pure function of the
+		// instance, so this branch triggers identically in any replay of
+		// the same round — determinism survives the fallback.
+		return solveDirectFallback(inst, err)
+	}
+	return d, nil
+}
+
+// solveDirectFallback re-solves an instance that defeated the Benders
+// machinery numerically with the monolithic oracle. The original distress
+// is attached to any direct-solve failure so neither error is lost.
+func solveDirectFallback(inst *Instance, benderErr error) (*Decision, error) {
+	d, err := SolveDirect(inst)
+	if err != nil {
+		return nil, fmt.Errorf("core: direct fallback failed: %w (after Benders distress: %v)", err, benderErr)
+	}
+	d.FellBack = true
+	return d, nil
 }
 
 // addOptCut installs θ ≥ constant + coefs·x in the master, as

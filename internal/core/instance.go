@@ -1,26 +1,3 @@
-// Package core implements the paper's primary contribution: the Admission
-// Control and Resource Reservation (AC-RR) problem of §3 — a stochastic
-// yield-management formulation that jointly decides (i) which slice
-// requests to admit, (ii) which computing unit hosts each slice's network
-// service, and (iii) how much radio/transport/compute capacity to reserve,
-// exploiting slice overbooking: reserving less than the SLA bitrate Λ when
-// the forecast demand λ̂ is lower, at a risk cost proportional to the
-// forecast uncertainty σ̂ and the slice duration L.
-//
-// Three solvers are provided:
-//
-//   - SolveDirect: the AC-RR MILP (Problem 2) solved monolithically by
-//     branch-and-bound; the oracle the other two are validated against.
-//   - SolveBenders: the paper's Algorithm 1 — optimal Benders decomposition
-//     into a binary master (placement/admission) and a continuous slave
-//     (reservation), with optimality and feasibility cuts.
-//   - SolveKAC: the paper's Algorithms 2–3 — the Knapsack Admission
-//     Control heuristic that collapses dual feasibility cuts into a single
-//     knapsack capacity and admits slices greedily (first-fit decreasing).
-//
-// The no-overbooking baseline of §4.3.2 is the same problem with
-// constraint (9) replaced by xΛ ⪯ z (Instance.Overbook = false), forcing
-// every accepted slice to reserve its full SLA.
 package core
 
 import (
@@ -295,6 +272,11 @@ type Decision struct {
 
 	// Iterations counts master-slave rounds (Benders/KAC); 1 for direct.
 	Iterations int
+	// FellBack marks a decision produced by the monolithic fallback after
+	// Benders numerical distress (see BendersSession.Solve). The decision
+	// itself is the same unique optimum; the flag exists for diagnostics
+	// and tests.
+	FellBack bool
 }
 
 // newDecision allocates an all-rejected decision shell.

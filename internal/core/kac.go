@@ -27,13 +27,17 @@ type bundle struct {
 
 // KACOptions tune Algorithm 3.
 type KACOptions struct {
-	// MaxIterations bounds feasibility-cut rounds; 0 means 100.
+	// MaxIterations bounds feasibility-cut rounds; 0 means 500. (The ε
+	// recursion's cut aggregation can need >100 rounds on wide homogeneous
+	// populations — the Fig. 5 grid's Romanian/eMBB cell converges at 110 —
+	// so the default leaves generous headroom while still terminating
+	// promptly on genuine cycles, which the progress guard breaks anyway.)
 	MaxIterations int
 }
 
 func (o KACOptions) withDefaults() KACOptions {
 	if o.MaxIterations == 0 {
-		o.MaxIterations = 100
+		o.MaxIterations = 500
 	}
 	return o
 }

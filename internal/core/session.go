@@ -65,6 +65,16 @@ func NewBendersSession(opts BendersOptions) *BendersSession {
 // call's solver state whenever the instance differs from the previous one
 // only in costs and right-hand sides (forecast drift), and cold-rebuilding
 // whenever the decision structure changed (arrivals, departures, pinning).
+//
+// Numerical distress in the decomposition — a master rendered infeasible
+// by ill-conditioned accumulated cuts, a simplex pivot budget exhausted by
+// degenerate cycling — does not fail the epoch: the poisoned carried state
+// (cuts, incumbent) is dropped and the instance is re-solved cold. A cold
+// Benders solve is a pure function of the instance, so a serial or cold
+// replay of the same round reaches the identical decision and the
+// warm==cold equality contract survives distress by construction. (Should
+// even the cold solve hit distress, SolveBenders falls back to the
+// monolithic oracle as a last resort — equally instance-deterministic.)
 func (s *BendersSession) Solve(inst *Instance) (*Decision, error) {
 	m, err := buildModel(inst)
 	if err != nil {
@@ -78,7 +88,19 @@ func (s *BendersSession) Solve(inst *Instance) (*Decision, error) {
 		s.prevX = s.prevX[:0]
 	}
 	s.model = m
-	return bendersSolve(m, s.slave, s.opts, s)
+	d, err := bendersSolve(m, s.slave, s.opts, s)
+	if err != nil {
+		s.model, s.slave = nil, nil
+		s.duals = s.duals[:0]
+		s.prevX = s.prevX[:0]
+		d, err = SolveBenders(inst, s.opts)
+		if err != nil {
+			return nil, err
+		}
+		d.FellBack = true
+		return d, nil
+	}
+	return d, nil
 }
 
 // CarriedCuts reports the current cut-pool size (diagnostics and tests).

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -14,10 +13,11 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
-	"repro/internal/forecast"
 	"repro/internal/monitor"
+	"repro/internal/reopt"
 	"repro/internal/slice"
 	"repro/internal/topology"
+	"repro/internal/yield"
 )
 
 // OrchestratorConfig wires the E2E orchestrator to its domain controllers
@@ -44,7 +44,9 @@ type OrchestratorConfig struct {
 	Store *monitor.Store
 }
 
-// orchSlice is the orchestrator's lifecycle state for one slice.
+// orchSlice is the orchestrator's lifecycle state for one slice. (The
+// per-slice forecast trackers live in the reopt controller, which owns the
+// monitoring → forecasting half of the epoch.)
 type orchSlice struct {
 	req       SliceRequest
 	tmpl      slice.Template
@@ -53,7 +55,6 @@ type orchSlice struct {
 	cu        int
 	reserved  []float64
 	remaining int
-	fc        forecast.Forecaster
 	arrival   int
 	ticket    *admission.Ticket // pending decision handle
 }
@@ -65,21 +66,32 @@ type orchSlice struct {
 // bounded intake backpressures Register, the prefilter fast-rejects
 // structurally infeasible requests, and each epoch's AC-RR instance is
 // solved on the engine's shard against a warm cross-epoch session.
+//
+// The epoch itself is the closed loop of internal/reopt: a Controller owns
+// the monitoring → forecasting → reoptimization → lifecycle cycle, calling
+// back into the orchestrator (OnRound) to program the data plane between
+// the warm re-solve and the lifecycle advance. Realized yield settles into
+// a shared yield.Ledger, published raw at GET /yield and alongside the
+// engine snapshot at GET /metrics.
 type Orchestrator struct {
 	cfg    OrchestratorConfig
 	paths  [][][]topology.Path
 	client *http.Client
 	eng    *admission.Engine
+	loop   *reopt.Controller
+	ledger *yield.Ledger
 
 	mu     sync.Mutex
 	epoch  int
 	slices map[string]*orchSlice
 	order  []string // insertion order, for deterministic decisions
+	curRep *EpochReport
 }
 
 // NewOrchestrator builds the orchestrator; it precomputes the P_{b,c} path
-// sets offline exactly as §2.1.2 prescribes and starts the admission
-// engine. Call Close to release the engine's workers.
+// sets offline exactly as §2.1.2 prescribes, starts the admission engine,
+// and binds the closed-loop controller to it. Call Close to release the
+// engine's workers.
 func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
 	if cfg.Net == nil {
 		return nil, fmt.Errorf("ctrlplane: orchestrator needs a topology")
@@ -93,11 +105,19 @@ func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = "direct"
 	}
+	if cfg.Store == nil {
+		// The closed loop always reads through a store; a deployment
+		// without a collector simply leaves it empty (every slice then
+		// stays at its conservative full-SLA reservation).
+		cfg.Store = monitor.NewStore(0)
+	}
+	ledger := yield.NewLedger()
 	eng := admission.New(admission.Config{
 		Shards:     cfg.Shards,
 		QueueDepth: cfg.QueueDepth,
 		TenantCap:  cfg.TenantCap,
 		Store:      cfg.Store,
+		Ledger:     ledger,
 	})
 	if err := eng.AddDomain(admission.DefaultDomain, admission.DomainConfig{
 		Net:       cfg.Net,
@@ -116,13 +136,27 @@ func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Orchestrator{
+	o := &Orchestrator{
 		cfg:    cfg,
 		paths:  paths,
 		client: &http.Client{Timeout: 10 * time.Second},
 		eng:    eng,
+		ledger: ledger,
 		slices: map[string]*orchSlice{},
-	}, nil
+	}
+	loop, err := reopt.New(reopt.Config{
+		Engine:   eng,
+		Store:    cfg.Store,
+		Ledger:   ledger,
+		HWPeriod: cfg.HWPeriod,
+		OnRound:  o.programRound,
+	})
+	if err != nil {
+		eng.Stop()
+		return nil, fmt.Errorf("ctrlplane: %w", err)
+	}
+	o.loop = loop
+	return o, nil
 }
 
 // Close drains and stops the admission engine: queued requests are decided
@@ -173,10 +207,26 @@ func (o *Orchestrator) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]int{"epoch": e})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, o.eng.Metrics())
+		writeJSON(w, http.StatusOK, MetricsReport{
+			Snapshot: o.eng.Metrics(),
+			Yield:    o.ledger.Snapshot(),
+		})
+	})
+	mux.HandleFunc("GET /yield", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, o.ledger.Snapshot())
 	})
 	return mux
 }
+
+// MetricsReport is the GET /metrics payload: the engine's serving counters
+// at the top level (unchanged shape) plus the live yield account.
+type MetricsReport struct {
+	admission.Snapshot
+	Yield yield.Summary `json:"yield"`
+}
+
+// Yield returns the orchestrator's live revenue account.
+func (o *Orchestrator) Yield() yield.Summary { return o.ledger.Snapshot() }
 
 // Register routes a tenant request into the admission engine's bounded
 // intake. The slice appears as "pending" until the next epoch's round
@@ -213,7 +263,6 @@ func (o *Orchestrator) Register(req SliceRequest) error {
 		req: req, tmpl: tmpl, sla: sla,
 		state:     "pending",
 		remaining: req.DurationEpochs,
-		fc:        forecast.NewAdaptive(0.5, 0.05, 0.15, o.cfg.HWPeriod),
 		arrival:   o.epoch,
 		ticket:    ticket,
 	}
@@ -228,51 +277,103 @@ func (o *Orchestrator) Statuses() []SliceStatus {
 	return o.statusesLocked()
 }
 
-// RunEpoch executes one decision round: aggregate monitoring, forecast,
-// solve AC-RR through the admission engine's warm shard, program the
-// controllers, and advance slice lifecycles.
+// RunEpoch executes one decision round by stepping the closed loop: the
+// reopt controller settles the ended epoch's yield, aggregates monitoring
+// into the forecasters, re-solves AC-RR through the admission engine's
+// warm shard (programming the controllers mid-step via programRound), and
+// advances slice lifecycles; the orchestrator then reconciles its REST
+// view and tears down whatever expired.
 func (o *Orchestrator) RunEpoch() (*EpochReport, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 
-	// 1. Monitoring feedback: feed each active slice's forecaster with the
-	// previous epoch's measured peak (max over κ samples and BSs), then
-	// hand the engine the fresh forecast view so the round's solve drifts
-	// costs/RHS against the warm session.
-	for _, name := range o.order {
-		s := o.slices[name]
-		if s.state != "active" {
-			continue
-		}
-		if o.cfg.Store != nil && o.epoch > 0 {
-			if peak, ok := o.cfg.Store.EpochPeak(name, "load_mbps", o.epoch-1); ok {
-				s.fc.Observe(peak)
-			}
-		}
-		lamHat, sigma := s.sla.RateMbps, 1.0
-		if u := s.fc.Uncertainty(); u < 1 {
-			sigma = u
-			// The bare peak forecast, as the paper reserves (§5).
-			lamHat = math.Min(s.fc.Forecast(1)[0], s.sla.RateMbps)
-		}
-		if err := o.eng.UpdateForecast(admission.DefaultDomain, name, lamHat, sigma); err != nil {
-			return nil, fmt.Errorf("ctrlplane: forecast for %s: %w", name, err)
-		}
-	}
-
-	// 2. One admission round: committed actives re-optimize, queued
-	// pendings are decided, all in a single warm solve on the engine shard.
-	round, err := o.eng.DecideRound(admission.DefaultDomain)
+	rep := &EpochReport{Epoch: o.epoch}
+	o.curRep = rep
+	step, err := o.loop.Step()
+	o.curRep = nil
 	if err != nil {
 		return nil, err
 	}
+
+	// Requests the prefilter fast-rejected never reached the round; their
+	// tickets are already resolved.
+	for _, name := range o.order {
+		s := o.slices[name]
+		if s.state != "pending" || s.ticket == nil {
+			continue
+		}
+		if out, ok := s.ticket.Outcome(); ok && out.FastRejected {
+			s.state = "rejected"
+			rep.Rejected = append(rep.Rejected, name)
+		}
+	}
+
+	// Lifecycle: the loop already ticked the engine's clocks; mirror them
+	// and tear expired slices out of every domain.
+	for _, name := range o.order {
+		s := o.slices[name]
+		if s.state == "active" {
+			s.remaining--
+		}
+	}
+	for _, name := range step.Expired {
+		s := o.slices[name]
+		if s == nil || s.state != "active" {
+			return nil, fmt.Errorf("ctrlplane: engine expired unknown or inactive slice %q", name)
+		}
+		s.state = "expired"
+		rep.Expired = append(rep.Expired, name)
+		if err := o.teardown(name); err != nil {
+			return nil, fmt.Errorf("ctrlplane: teardown %s: %w", name, err)
+		}
+	}
+	o.epoch++
+	rep.Slices = o.statusesLocked()
+	return rep, nil
+}
+
+// RunLoop drives RunEpoch on a wall-clock cadence until the context ends —
+// the serving deployment's closed-loop lifecycle, where decision epochs
+// are real time instead of POST /epoch calls (which keep working and
+// simply insert extra epochs). Returns nil when the context ends, the
+// first epoch error otherwise.
+func (o *Orchestrator) RunLoop(ctx context.Context, every time.Duration) error {
+	if every <= 0 {
+		return fmt.Errorf("ctrlplane: RunLoop needs a positive period")
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+			if _, err := o.RunEpoch(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// programRound is the reopt controller's OnRound hook, running between the
+// epoch's warm re-solve and the lifecycle advance — exactly where the
+// pre-closed-loop orchestrator programmed the data plane. It marks fresh
+// solver rejections and pushes accepted reservations southbound, shrinking
+// slices first so the controllers' admission checks see freed capacity
+// before grows arrive. Called with o.mu held (RunEpoch → Step → here).
+func (o *Orchestrator) programRound(round *admission.Round) error {
+	rep := o.curRep
+	if rep == nil {
+		// The hook mutates o.slices, which is safe only under the o.mu
+		// that RunEpoch holds. The orchestrator's epoch entry points are
+		// RunEpoch and RunLoop; stepping its controller any other way is
+		// refused rather than racing the REST handlers.
+		return fmt.Errorf("ctrlplane: controller stepped outside RunEpoch")
+	}
 	dec := round.Decision
+	rep.NetRevenue = dec.Revenue()
+	rep.DeficitCost = 1e4 * (dec.DeficitRadio + dec.DeficitTransport + dec.DeficitCompute)
 
-	rep := &EpochReport{Epoch: o.epoch, NetRevenue: dec.Revenue(),
-		DeficitCost: 1e4 * (dec.DeficitRadio + dec.DeficitTransport + dec.DeficitCompute)}
-
-	// 3. Program the data plane: shrinking slices first so the controllers'
-	// admission checks see freed capacity before grows arrive.
 	type progItem struct {
 		name  string
 		ti    int
@@ -282,7 +383,7 @@ func (o *Orchestrator) RunEpoch() (*EpochReport, error) {
 	for ti, name := range round.Names {
 		s := o.slices[name]
 		if s == nil {
-			return nil, fmt.Errorf("ctrlplane: engine decided unknown slice %q", name)
+			return fmt.Errorf("ctrlplane: engine decided unknown slice %q", name)
 		}
 		if !dec.Accepted[ti] {
 			if s.state == "pending" {
@@ -301,23 +402,11 @@ func (o *Orchestrator) RunEpoch() (*EpochReport, error) {
 		}
 		prog = append(prog, progItem{name: name, ti: ti, delta: newTotal - oldTotal})
 	}
-	// Requests the prefilter fast-rejected never reached the round; their
-	// tickets are already resolved.
-	for _, name := range o.order {
-		s := o.slices[name]
-		if s.state != "pending" || s.ticket == nil {
-			continue
-		}
-		if out, ok := s.ticket.Outcome(); ok && out.FastRejected {
-			s.state = "rejected"
-			rep.Rejected = append(rep.Rejected, name)
-		}
-	}
 	sort.Slice(prog, func(i, j int) bool { return prog[i].delta < prog[j].delta })
 	for _, pi := range prog {
 		s := o.slices[pi.name]
 		if err := o.program(pi.name, s, dec, pi.ti); err != nil {
-			return nil, fmt.Errorf("ctrlplane: programming %s: %w", pi.name, err)
+			return fmt.Errorf("ctrlplane: programming %s: %w", pi.name, err)
 		}
 		if s.state == "pending" {
 			s.state = "active"
@@ -326,33 +415,7 @@ func (o *Orchestrator) RunEpoch() (*EpochReport, error) {
 		}
 		s.reserved = append([]float64(nil), dec.Z[pi.ti]...)
 	}
-
-	// 4. Lifecycle: the engine ticks committed lifetimes down; expired
-	// slices are torn out of every domain.
-	expired, err := o.eng.Advance(admission.DefaultDomain)
-	if err != nil {
-		return nil, err
-	}
-	for _, name := range o.order {
-		s := o.slices[name]
-		if s.state == "active" {
-			s.remaining--
-		}
-	}
-	for _, name := range expired {
-		s := o.slices[name]
-		if s == nil || s.state != "active" {
-			return nil, fmt.Errorf("ctrlplane: engine expired unknown or inactive slice %q", name)
-		}
-		s.state = "expired"
-		rep.Expired = append(rep.Expired, name)
-		if err := o.teardown(name); err != nil {
-			return nil, fmt.Errorf("ctrlplane: teardown %s: %w", name, err)
-		}
-	}
-	o.epoch++
-	rep.Slices = o.statusesLocked()
-	return rep, nil
+	return nil
 }
 
 func (o *Orchestrator) statusesLocked() []SliceStatus {

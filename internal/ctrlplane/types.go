@@ -1,19 +1,3 @@
-// Package ctrlplane implements the paper's hierarchical control plane
-// (§2.2, Fig. 2) as a set of HTTP services:
-//
-//   - the Slice Manager, the web app tenants submit slice requests Φτ to
-//     (§2.2.1); it renders each request into a TOSCA-like network-service
-//     descriptor and forwards it to the orchestrator over REST;
-//   - the E2E Orchestrator (the paper's OVNES), the only stateful entity:
-//     it owns slice lifecycle state, per-slice forecasters, and the AC-RR
-//     engine, and pushes per-domain programming southbound;
-//   - three stateless domain controllers — RAN, transport (the paper's
-//     Floodlight) and cloud (the paper's Heat/Keystone front) — that
-//     translate orchestrator programming into data-plane operations over an
-//     interface modelled on ETSI GS NFV-IFA 005.
-//
-// All services speak JSON over net/http and are exercised end-to-end over
-// loopback in the package tests and the cmd/testbed experiment.
 package ctrlplane
 
 import "repro/internal/slice"

@@ -1,10 +1,3 @@
-// Package dataplane emulates the paper's data plane (§2.1, §5): base
-// stations with RAN-sharing radio schedulers (PRB shares per slice, the
-// paper's proprietary NEC small-cell interface), an OpenFlow-style switch
-// fabric with per-slice rate-limited flow rules, and computing units
-// running per-slice stacks with pinned CPU reservations (OpenStack Heat +
-// CPU pinning). It substitutes the commercial hardware of Table 2 while
-// exercising the same programming operations the domain controllers issue.
 package dataplane
 
 import (

@@ -1,16 +1,3 @@
-// Package forecast implements the traffic forecasting sub-block of the E2E
-// orchestrator (§2.2.2): the multiplicative Holt-Winters triple exponential
-// smoothing the paper selects for its ability to track the daily
-// seasonality of mobile traffic, alongside the single and double
-// exponential smoothing baselines it dismisses (footnote 6), used here for
-// ablation.
-//
-// Every forecaster consumes one observation per decision epoch (the
-// per-epoch peak load λ(t) produced by the monitoring pipeline) and emits
-// point forecasts λ̂ for the next epochs together with a normalized
-// uncertainty σ̂ ∈ (0, 1] derived from its recent one-step-ahead relative
-// errors. σ̂ scales the risk term ξ = σ̂·L of the AC-RR objective: a noisy
-// or young forecast makes the orchestrator overbook conservatively.
 package forecast
 
 import "math"
@@ -257,42 +244,109 @@ func (hw *HoltWinters) Uncertainty() float64 {
 // producing seasonal forecasts.
 func (hw *HoltWinters) Ready() bool { return hw.ready }
 
-// Adaptive is the orchestrator's production forecaster: simple exponential
-// smoothing while the Holt-Winters model accumulates its two warm-up
-// seasons, seasonal Holt-Winters afterwards. The paper's testbed admits a
-// second slice two epochs after observing the first one's load (§5), which
-// only works if the forecaster is useful long before a full season of
-// history exists.
+// Adaptive is the orchestrator's production forecaster, a model-selection
+// composite: while the Holt-Winters model accumulates its two warm-up
+// seasons, the non-seasonal candidates — simple exponential smoothing and
+// Holt's double (level+trend) smoothing — run side by side and the one
+// with the lower tracked one-step error σ̂ serves the forecasts (SES on
+// ties and before either has proven out, so flat workloads keep their
+// historical behavior; DES takes over on sustained ramps, which it tracks
+// and SES lags). Once two full seasons of history exist, seasonal
+// Holt-Winters takes over for good. The paper's testbed admits a second
+// slice two epochs after observing the first one's load (§5), which only
+// works if the forecaster is useful long before a full season of history
+// exists — that is what the non-seasonal phase is for.
 type Adaptive struct {
 	ses *SES
+	des *DES
 	hw  *HoltWinters
 }
 
 // NewAdaptive returns the composite forecaster.
 func NewAdaptive(alpha, beta, gamma float64, period int) *Adaptive {
-	return &Adaptive{ses: NewSES(alpha), hw: NewHoltWinters(alpha, beta, gamma, period)}
+	return &Adaptive{
+		ses: NewSES(alpha),
+		des: NewDES(alpha, beta),
+		hw:  NewHoltWinters(alpha, beta, gamma, period),
+	}
 }
 
-// Observe implements Forecaster.
+// Observe implements Forecaster. Every candidate observes every sample, so
+// the moment one takes over it already carries the full history.
 func (a *Adaptive) Observe(v float64) {
 	a.ses.Observe(v)
+	a.des.Observe(v)
 	a.hw.Observe(v)
 }
 
-// Forecast implements Forecaster.
-func (a *Adaptive) Forecast(h int) []float64 {
+// active returns the currently selected model.
+func (a *Adaptive) active() Forecaster {
 	if a.hw.Ready() {
-		return a.hw.Forecast(h)
+		return a.hw
 	}
-	return a.ses.Forecast(h)
+	if a.des.Uncertainty() < a.ses.Uncertainty() {
+		return a.des
+	}
+	return a.ses
 }
 
-// Uncertainty implements Forecaster.
-func (a *Adaptive) Uncertainty() float64 {
-	if a.hw.Ready() {
-		return a.hw.Uncertainty()
+// Model names the currently selected model: "ses", "des", or
+// "holt-winters". Diagnostic only — selection is an internal concern —
+// but the regime-change tests pin the switching behavior through it.
+func (a *Adaptive) Model() string {
+	switch a.active().(type) {
+	case *HoltWinters:
+		return "holt-winters"
+	case *DES:
+		return "des"
 	}
-	return a.ses.Uncertainty()
+	return "ses"
+}
+
+// Forecast implements Forecaster.
+func (a *Adaptive) Forecast(h int) []float64 { return a.active().Forecast(h) }
+
+// Uncertainty implements Forecaster.
+func (a *Adaptive) Uncertainty() float64 { return a.active().Uncertainty() }
+
+// View is the orchestrator's standard reading of a forecaster for a slice
+// with SLA bitrate lam: the conservative (Λ, 1) while the model has not
+// proven out (σ̂ ≥ 1, i.e. no trusted history), and otherwise the one-step
+// point forecast — optionally padded by (1 + pad·σ̂) — clamped into the SLA.
+// Exactly this reading feeds core.TenantSpec.{LambdaHat, Sigma} in the
+// simulator, the ctrlplane orchestrator, and the closed-loop controller,
+// so the three paths cannot drift apart.
+func View(f Forecaster, lam, pad float64) (lambdaHat, sigma float64) {
+	return ViewHorizon(f, lam, pad, 1)
+}
+
+// ViewHorizon is View against the forecast PEAK over the next h epochs
+// instead of only the next one: the reading for a reoptimizer whose
+// reservation will stay in force for h epochs. h ≤ 1 degenerates to View.
+func ViewHorizon(f Forecaster, lam, pad float64, h int) (lambdaHat, sigma float64) {
+	sigma = f.Uncertainty()
+	if sigma >= 1 {
+		return lam, 1 // no trusted history: reserve the full SLA
+	}
+	pred := PeakOver(f, h) * (1 + pad*sigma)
+	return math.Min(pred, lam), sigma
+}
+
+// PeakOver returns the maximum point forecast over the next h epochs (the
+// horizon analogue of the monitoring pipeline's per-epoch max-aggregation);
+// h ≤ 1 is the plain one-step forecast.
+func PeakOver(f Forecaster, h int) float64 {
+	if h < 1 {
+		h = 1
+	}
+	fc := f.Forecast(h)
+	peak := fc[0]
+	for _, v := range fc[1:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
 }
 
 // RMSE computes the root-mean-square error between two equal-length series;

@@ -1,0 +1,24 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs, with dual-value extraction and Farkas infeasibility certificates.
+//
+// It is the substrate that replaces the commercial CPLEX solver used by the
+// paper "Overbooking Network Slices through Yield-driven End-to-End
+// Orchestration" (CoNEXT '18). The AC-RR engine needs three things from an
+// LP solver, all provided here:
+//
+//   - optimal primal solutions (resource reservations z, y),
+//   - dual values at optimality (Benders optimality cuts), and
+//   - dual extreme rays when the primal is infeasible (Benders
+//     feasibility cuts; "PDS(x) is unbounded" in the paper's Algorithm 1).
+//
+// Problems are stated in the natural form
+//
+//	minimize    c·x
+//	subject to  aᵢ·x {≤,=,≥} bᵢ    i = 1..m
+//	            x ≥ 0
+//
+// Upper bounds on variables are expressed as ordinary constraint rows.
+// Internally the solver converts to equality standard form with slack and
+// artificial variables and runs a two-phase dense tableau simplex with
+// Dantzig pricing and a Bland's-rule fallback that guarantees termination.
+package lp

@@ -1,18 +1,3 @@
-// Package middlebox implements the transparent rate-control middlebox of
-// §2.1.3: a Split-TCP proxy inserted between a slice's vertical service and
-// its end users. The proxy terminates the service-side TCP connection and
-// opens a second one toward the user, which lets it police the slice
-// without perturbing the transmitter's congestion control:
-//
-//   - traffic within the reserved capacity is forwarded transparently;
-//   - traffic above the reservation but within the SLA is buffered — the
-//     service side is acknowledged immediately (by reading eagerly) and
-//     bytes drain toward the user at the reserved rate;
-//   - traffic beyond the SLA is randomly dropped to police the slice to
-//     its agreement.
-//
-// Reservations change at every decision epoch; SetReservation applies the
-// orchestrator's new value to a live proxy without disturbing connections.
 package middlebox
 
 import (

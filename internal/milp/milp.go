@@ -1,12 +1,3 @@
-// Package milp implements a best-first branch-and-bound solver for mixed
-// integer linear programs whose integer variables are binary (0/1). It sits
-// on top of the simplex solver in internal/lp and is the second half of the
-// from-scratch replacement for the CPLEX framework used by the paper.
-//
-// The AC-RR orchestration problem (Problem 2 in the paper) and the Benders
-// master problem (Problem 5) are exactly of this shape: binary admission /
-// path-selection decisions x coupled with continuous reservations, so a
-// binary-only branching scheme is sufficient and keeps the search simple.
 package milp
 
 import (

@@ -1,10 +1,3 @@
-// Package monitor implements the monitoring and feedback pipeline of the
-// E2E orchestrator (§2.2.2): agents embedded in the data plane push
-// per-slice load samples over UDP (standing in for the paper's sFlow and
-// OpenStack Ceilometer/Gnocchi exporters), a collector ingests them into an
-// in-memory time-series store (standing in for InfluxDB), and per-epoch
-// max-aggregation produces the λ(t) = max{λ(θ) | θ ∈ κ(t)} peaks the
-// forecasting block consumes.
 package monitor
 
 import (
@@ -28,6 +21,17 @@ type Sample struct {
 
 // key identifies one stored series.
 type key struct{ slice, metric, element string }
+
+// LoadMetric is the canonical metric name for per-slice demand samples —
+// the series the forecasting and yield-accounting loop consumes.
+const LoadMetric = "load_mbps"
+
+// BSElement names the monitoring element for radio site b ("bs0", "bs1",
+// …): the convention every in-tree agent uses for per-BS load samples,
+// and the key the closed-loop controller reads a slice's per-BS series
+// back under (ElementEpochSamples) to score them against the reservation
+// vector.
+func BSElement(b int) string { return fmt.Sprintf("bs%d", b) }
 
 // Store is the in-memory time-series database. It retains a bounded number
 // of samples per series (ring retention) and supports the per-epoch
@@ -79,6 +83,31 @@ func (s *Store) EpochPeak(slice, metric string, epoch int) (float64, bool) {
 		}
 	}
 	return peak, ok
+}
+
+// ElementEpochSamples returns the samples one (slice, metric, element)
+// series holds for the given epoch, sorted by (theta, value) so any
+// accounting folded over it is deterministic regardless of ingest
+// interleaving. It is a single series lookup, so per-slice accounting
+// loops — the closed loop's settle phase runs one per committed slice per
+// epoch — stay linear in that series' retained samples instead of
+// scanning every series in the store.
+func (s *Store) ElementEpochSamples(slice, metric, element string, epoch int) []Sample {
+	s.mu.RLock()
+	var out []Sample
+	for _, sm := range s.series[key{slice, metric, element}] {
+		if sm.Epoch == epoch {
+			out = append(out, sm)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Theta != out[j].Theta {
+			return out[i].Theta < out[j].Theta
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
 }
 
 // PeakSeries returns the per-epoch peaks for a slice/metric over the

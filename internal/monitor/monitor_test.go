@@ -157,3 +157,31 @@ func TestBadCollectorAddr(t *testing.T) {
 		t.Error("expected resolve error")
 	}
 }
+
+func TestElementEpochSamples(t *testing.T) {
+	s := NewStore(0)
+	// Ingest out of order across elements, thetas and epochs.
+	for _, sm := range []Sample{
+		{Slice: "u1", Metric: LoadMetric, Element: BSElement(1), Epoch: 3, Theta: 1, Value: 7},
+		{Slice: "u1", Metric: LoadMetric, Element: BSElement(0), Epoch: 3, Theta: 2, Value: 5},
+		{Slice: "u1", Metric: LoadMetric, Element: BSElement(0), Epoch: 3, Theta: 0, Value: 9},
+		{Slice: "u1", Metric: LoadMetric, Element: BSElement(0), Epoch: 4, Theta: 0, Value: 1},
+		{Slice: "u2", Metric: LoadMetric, Element: BSElement(0), Epoch: 3, Theta: 0, Value: 2},
+		{Slice: "u1", Metric: "cpu_cores", Element: BSElement(0), Epoch: 3, Theta: 0, Value: 3},
+	} {
+		s.Add(sm)
+	}
+
+	// Deterministic theta order regardless of ingest order; other epochs,
+	// slices and metrics filtered out.
+	one := s.ElementEpochSamples("u1", LoadMetric, BSElement(0), 3)
+	if len(one) != 2 || one[0].Value != 9 || one[1].Value != 5 {
+		t.Fatalf("ElementEpochSamples wrong: %+v", one)
+	}
+	if got := s.ElementEpochSamples("u1", LoadMetric, BSElement(1), 3); len(got) != 1 || got[0].Value != 7 {
+		t.Fatalf("bs1 samples wrong: %+v", got)
+	}
+	if got := s.ElementEpochSamples("u1", LoadMetric, BSElement(7), 3); len(got) != 0 {
+		t.Fatalf("samples for an element never written: %+v", got)
+	}
+}

@@ -1,14 +1,3 @@
-// Package parallel provides the bounded fork-join primitives the
-// experiment harnesses use to fan independent solver runs out over the
-// machine: a GOMAXPROCS-aware worker pool with deterministic, index-ordered
-// results.
-//
-// Determinism is structural rather than accidental: every task owns the
-// result slot of its own index, tasks share no state, and error selection
-// is by lowest index — so a sweep returns bit-identical output whether it
-// runs on 1 worker or 64. That property is what lets the figure/table
-// regeneration paths in internal/experiments go parallel without
-// perturbing any published number.
 package parallel
 
 import (

@@ -1,0 +1,35 @@
+// Package reopt closes the paper's control loop online: monitoring →
+// forecasting → overbooking-aware reoptimization (§2.2.2), the cycle that
+// previously existed only inside the offline simulator.
+//
+// A Controller binds one admission domain to the monitoring store. Each
+// Step(t) performs, in a fixed canonical order:
+//
+//  1. settle — the monitoring samples of the epoch that just ended are
+//     scored against the reservations that were in force (the previous
+//     round's CommittedDetail snapshot, so slices that expired at the
+//     epoch boundary still settle their final epoch), and the realized
+//     net revenue — reward minus K·(dropped SLA fraction) — is booked
+//     into the shared yield.Ledger and published back through the store;
+//  2. observe — each committed slice's per-epoch peak load (the §2.2.2
+//     max-aggregation) feeds its forecast.Adaptive tracker, so diurnal
+//     ramps and flash crowds move λ̂ and shrink σ̂ online;
+//  3. reoptimize — the refreshed (λ̂, σ̂) views are installed with one
+//     batched Engine.UpdateForecasts and a warm re-solve round
+//     (Engine.DecideRound) rescales every reservation and decides the
+//     queued arrivals; rounds that only drift forecasts re-enter the
+//     domain's warm Benders session instead of rebuilding it;
+//  4. advance — slice lifetimes tick and expiries are reported.
+//
+// An optional OnRound hook runs between (3) and (4): the control plane
+// programs the data plane there, exactly where the orchestrator's epoch
+// used to do it.
+//
+// Determinism: the controller holds no goroutines and consults no clocks —
+// Step is a pure function of (store contents, engine state) — and the
+// engine's rounds are bit-identical across shard counts, so a closed-loop
+// run is reproducible at any concurrency and equal to a machinery-free
+// serial replay. Both properties are pinned by tests in this package.
+// Run() adds the wall-clock lifecycle (a ticker driving Step) for serving
+// deployments where epochs are real time.
+package reopt

@@ -1,0 +1,317 @@
+package reopt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/forecast"
+	"repro/internal/monitor"
+	"repro/internal/yield"
+)
+
+// Config wires a Controller to its domain.
+type Config struct {
+	// Engine is the admission engine whose domain the loop drives. Required.
+	Engine *admission.Engine
+	// Domain names the engine domain; empty means admission.DefaultDomain.
+	Domain string
+	// Store is the monitoring backend observations are read from and yield
+	// samples are published into. Required.
+	Store *monitor.Store
+	// Metric is the demand series name; empty means monitor.LoadMetric.
+	Metric string
+	// Ledger receives the realized yield entries; nil creates a private
+	// one. Share a ledger (and hand it to admission.Config.Ledger) to get
+	// realized and expected revenue in one account.
+	Ledger *yield.Ledger
+
+	// Alpha/Beta/Gamma/HWPeriod parameterize each slice's
+	// forecast.Adaptive tracker; zeros take the simulator's defaults
+	// (0.5, 0.05, 0.15, period 12).
+	Alpha, Beta, Gamma float64
+	HWPeriod           int
+	// Pad inflates λ̂ by (1 + Pad·σ̂) before reserving (sim.ForecastPad).
+	Pad float64
+	// Horizon reserves against the forecast peak over the next Horizon
+	// epochs instead of only the next one; 0/1 is the paper's one-step
+	// reading.
+	Horizon int
+	// ReoptEvery fires the forecast refresh every k-th step; 0 defaults to
+	// 1 (every step). Negative disables forecast-driven reoptimization
+	// entirely — the static baseline: rounds still run (arrivals must be
+	// decided, lifecycles tick) but committed reservations never rescale.
+	ReoptEvery int
+
+	// OnRound, when set, runs after each step's round is decided and
+	// before lifecycles advance — the ctrlplane programs the data plane
+	// here. A non-nil error aborts the step.
+	OnRound func(*admission.Round) error
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Engine == nil {
+		return c, fmt.Errorf("reopt: config needs an admission engine")
+	}
+	if c.Store == nil {
+		return c, fmt.Errorf("reopt: config needs a monitor store")
+	}
+	if c.Domain == "" {
+		c.Domain = admission.DefaultDomain
+	}
+	if c.Metric == "" {
+		c.Metric = monitor.LoadMetric
+	}
+	if c.Ledger == nil {
+		c.Ledger = yield.NewLedger()
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.05
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.15
+	}
+	if c.HWPeriod == 0 {
+		c.HWPeriod = 12
+	}
+	if c.Horizon < 1 {
+		c.Horizon = 1
+	}
+	if c.ReoptEvery == 0 {
+		c.ReoptEvery = 1
+	}
+	return c, nil
+}
+
+// inForce is the reservation snapshot one settle cycle scores against.
+type inForce struct {
+	epoch   int // the epoch these reservations served
+	members []admission.CommittedSlice
+}
+
+// StepReport is one closed-loop cycle's outcome.
+type StepReport struct {
+	Domain string `json:"domain"`
+	Epoch  int    `json:"epoch"`
+	// Round is the step's reopt round (admissions + rescaled reservations).
+	Round *admission.Round `json:"-"`
+	// Settled lists the realized-yield entries booked for the epoch that
+	// just ended (empty on the first step: nothing was in force yet).
+	Settled []yield.Entry `json:"settled,omitempty"`
+	// Observed counts forecaster trackers fed a peak this step; Updated
+	// counts forecast views pushed into the engine (0 on static or
+	// off-cycle steps).
+	Observed int `json:"observed"`
+	Updated  int `json:"updated"`
+	// Rescaled counts committed slices whose total reservation moved by
+	// more than rescaleTol in this step's round — forecast drift turning
+	// into reservation change, the loop's whole point.
+	Rescaled int `json:"rescaled"`
+	// Expired lists slices whose lifetime ended with this step.
+	Expired []string `json:"expired,omitempty"`
+}
+
+// rescaleTol separates genuine reservation rescaling from solver jitter.
+const rescaleTol = 1e-6
+
+// Controller drives one domain's closed loop. Safe for concurrent use,
+// though steps themselves are strictly serialized; most callers drive it
+// from a single loop (Run, or the ctrlplane epoch handler).
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	epoch    int
+	trackers map[string]*forecast.Adaptive
+	prev     *inForce
+}
+
+// New validates the config and returns an idle controller; nothing runs
+// until Step or Run.
+func New(cfg Config) (*Controller, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, trackers: map[string]*forecast.Adaptive{}}, nil
+}
+
+// Ledger returns the controller's yield account.
+func (c *Controller) Ledger() *yield.Ledger { return c.cfg.Ledger }
+
+// Epoch returns the next epoch Step will run.
+func (c *Controller) Epoch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Step runs one closed-loop cycle for the controller's current epoch:
+// settle the epoch that ended, observe its peaks, reoptimize, advance.
+// See the package comment for the full contract.
+func (c *Controller) Step() (*StepReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := &StepReport{Domain: c.cfg.Domain, Epoch: c.epoch}
+
+	// 1. settle: score the just-ended epoch's samples against the
+	// reservations that served it, booking realized yield.
+	if c.prev != nil {
+		for _, m := range c.prev.members {
+			as := yield.NewAssessment(m.SLA.RateMbps)
+			// Keyed per-element reads keep settle linear in the slice's own
+			// samples (EpochSamples would rescan every series in the store
+			// for each committed slice).
+			for b := range m.Reserved {
+				for _, sm := range c.cfg.Store.ElementEpochSamples(m.Name, c.cfg.Metric, monitor.BSElement(b), c.prev.epoch) {
+					as.Sample(sm.Value, m.Reserved[b])
+				}
+			}
+			if as.Samples() == 0 {
+				continue // nothing monitored: nothing to settle
+			}
+			e := as.Entry(m.Name, c.prev.epoch, m.SLA.Reward, m.SLA.Penalty)
+			c.cfg.Ledger.Book(e)
+			rep.Settled = append(rep.Settled, e)
+			c.cfg.Store.Add(monitor.Sample{
+				Slice: m.Name, Metric: "yield_realized", Element: c.cfg.Domain,
+				Epoch: c.prev.epoch, Value: e.Realized,
+			})
+		}
+		if n := len(rep.Settled); n > 0 {
+			total := 0.0
+			for _, e := range rep.Settled {
+				total += e.Realized
+			}
+			c.cfg.Store.Add(monitor.Sample{
+				Slice: "yield", Metric: "epoch_realized", Element: c.cfg.Domain,
+				Epoch: c.prev.epoch, Value: total,
+			})
+		}
+	}
+
+	// 2. observe + 3. reoptimize. CommittedDetail is in admission order —
+	// deterministic — and carries everything the forecast refresh needs.
+	committed, err := c.cfg.Engine.CommittedDetail(c.cfg.Domain)
+	if err != nil {
+		return nil, err
+	}
+	prevTotals := map[string]float64{}
+	for _, m := range committed {
+		prevTotals[m.Name] = totalOf(m.Reserved)
+	}
+	reoptNow := c.cfg.ReoptEvery > 0 && c.epoch%c.cfg.ReoptEvery == 0
+	var ups []admission.ForecastUpdate
+	alive := map[string]bool{}
+	for _, m := range committed {
+		alive[m.Name] = true
+		tr := c.trackers[m.Name]
+		if tr == nil {
+			tr = forecast.NewAdaptive(c.cfg.Alpha, c.cfg.Beta, c.cfg.Gamma, c.cfg.HWPeriod)
+			c.trackers[m.Name] = tr
+		}
+		if c.epoch > 0 {
+			// The §2.2.2 max-aggregation over the slice's own per-BS
+			// series, via the same keyed reads settle uses — the observe
+			// phase stays linear in the slice's epoch samples too.
+			peak, ok := 0.0, false
+			for b := range m.Reserved {
+				for _, sm := range c.cfg.Store.ElementEpochSamples(m.Name, c.cfg.Metric, monitor.BSElement(b), c.epoch-1) {
+					if !ok || sm.Value > peak {
+						peak, ok = sm.Value, true
+					}
+				}
+			}
+			if ok {
+				tr.Observe(peak)
+				rep.Observed++
+			}
+		}
+		if reoptNow {
+			lh, sg := forecast.ViewHorizon(tr, m.SLA.RateMbps, c.cfg.Pad, c.cfg.Horizon)
+			ups = append(ups, admission.ForecastUpdate{Name: m.Name, LambdaHat: lh, Sigma: sg})
+		}
+	}
+	// Trackers of departed slices die with them (names may be reused).
+	for name := range c.trackers {
+		if !alive[name] {
+			delete(c.trackers, name)
+		}
+	}
+	if len(ups) > 0 {
+		if err := c.cfg.Engine.UpdateForecasts(c.cfg.Domain, ups); err != nil {
+			return nil, err
+		}
+		rep.Updated = len(ups)
+	}
+
+	round, err := c.cfg.Engine.DecideRound(c.cfg.Domain)
+	if err != nil {
+		return nil, err
+	}
+	rep.Round = round
+	if c.cfg.OnRound != nil {
+		if err := c.cfg.OnRound(round); err != nil {
+			return nil, fmt.Errorf("reopt: round hook at epoch %d: %w", c.epoch, err)
+		}
+	}
+
+	// Snapshot what is now in force — it serves the epoch that starts now
+	// and settles on the next step, surviving any expiry in between.
+	after, err := c.cfg.Engine.CommittedDetail(c.cfg.Domain)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range after {
+		if prev, was := prevTotals[m.Name]; was && math.Abs(totalOf(m.Reserved)-prev) > rescaleTol {
+			rep.Rescaled++
+		}
+	}
+	c.prev = &inForce{epoch: c.epoch, members: after}
+
+	// 4. advance.
+	expired, err := c.cfg.Engine.Advance(c.cfg.Domain)
+	if err != nil {
+		return nil, err
+	}
+	rep.Expired = expired
+	c.epoch++
+	return rep, nil
+}
+
+// Run drives Step on a wall-clock cadence until the context ends — the
+// serving-deployment lifecycle, one decision epoch per tick. The first
+// tick fires after one full period (epoch 0's round usually runs through
+// the ctrlplane or a manual Step first). Returns the context's error, or
+// the first step error.
+func (c *Controller) Run(ctx context.Context, every time.Duration) error {
+	if every <= 0 {
+		return fmt.Errorf("reopt: Run needs a positive period")
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			if _, err := c.Step(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func totalOf(z []float64) float64 {
+	t := 0.0
+	for _, v := range z {
+		t += v
+	}
+	return t
+}

@@ -53,6 +53,30 @@ func Archetypes() []Spec {
 			Algorithm: "benders", ReofferPending: true,
 		},
 		{
+			Name: "diurnal-drift",
+			Description: "closed-loop showcase: day-shaped eMBB demand oversubscribes the grid at full-SLA " +
+				"reservations; forecast-driven reoptimization shrinks σ̂ online and re-admits the overflow",
+			Topology: "Romanian", NBS: 4,
+			Tenants: 8, Epochs: 24, HWPeriod: 8,
+			Arrivals:  Arrivals{Kind: Batch},
+			Classes:   []Class{{Type: "eMBB", Alpha: 0.3, SigmaFrac: 0.2, Penalty: 1, Shape: "diurnal"}},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
+			Name: "flash-drift",
+			Description: "drift-heavy: diurnal eMBB background already overbooked when a uRLLC flash crowd " +
+				"lands mid-run — the reopt loop must rescale committed reservations to absorb it",
+			Topology: "Romanian", NBS: 4,
+			Tenants: 5, Epochs: 20, HWPeriod: 8,
+			Arrivals: Arrivals{Kind: FlashCrowd, RatePerEpoch: 0.8,
+				SpikeEpoch: 9, SpikeSize: 3, SpikeDuration: 4, SpikeClass: "surge"},
+			Classes: []Class{
+				{Name: "bg", Type: "eMBB", Alpha: 0.3, SigmaFrac: 0.2, Penalty: 1, Shape: "diurnal"},
+				{Name: "surge", Type: "uRLLC", Alpha: 0.5, SigmaFrac: 0.25, Penalty: 4},
+			},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
 			Name:        "heavy-tail",
 			Description: "log-normal demand: rare far-above-mean peaks stress peak forecasting and the risk term",
 			Topology:    "Italian", NBS: 4,

@@ -1,0 +1,36 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// TestSolverDistressFallsBackCold pins the Benders numerical-distress
+// recovery end to end on the workload that exposed it: the full-size
+// sla-mix archetype under seed 42 drives the cross-epoch session into a
+// master infeasibility at epoch 4 (ill-conditioned accumulated cuts).
+// The session must drop its poisoned state and re-solve cold instead of
+// failing the run — and because a cold solve is a pure function of the
+// instance, the warm pipeline's decisions must stay bit-identical to a
+// ColdSolver replay straight through the distressed epoch.
+func TestSolverDistressFallsBackCold(t *testing.T) {
+	base := mustByName(t, "sla-mix")
+	base.Epochs = 5 // epochs 0–4 reproduce the distressed round exactly
+
+	runs, err := parallel.Map(2, 0, func(i int) (*sim.Result, error) {
+		cfg, err := base.Compile(42)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ColdSolver = i == 1
+		return sim.Run(cfg)
+	})
+	if err != nil {
+		t.Fatalf("distressed run failed instead of falling back: %v", err)
+	}
+	if got, want := runs[0].DecisionTrace(), runs[1].DecisionTrace(); got != want {
+		t.Errorf("warm pipeline diverges from cold replay through the distressed epoch:\nwarm:\n%s\ncold:\n%s", got, want)
+	}
+}

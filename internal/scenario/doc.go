@@ -1,0 +1,15 @@
+// Package scenario is the declarative workload engine: a Spec names a
+// topology, an arrival process, and a mix of SLA classes, and Compile turns
+// it — fully seeded and reproducibly — into the sim.Config the epoch
+// pipeline executes. It replaces the ad-hoc slice-list construction that
+// used to be duplicated across internal/experiments/fig*.go and examples/,
+// and it is the substrate new workloads plug into: a scenario is data, so a
+// new traffic pattern is a Spec literal, not a new harness.
+//
+// The paper's evaluation (§4.3) draws every result from sweeps over
+// scenario families — homogeneous Gaussian grids (Fig. 5), heterogeneous
+// mixes (Fig. 6), the diurnal testbed day (Fig. 8). Archetypes() exposes
+// those plus the workloads the paper motivates but never simulates
+// (flash crowds, heavy-tailed demand); `scenario run` in cmd/ drives any of
+// them from the command line.
+package scenario

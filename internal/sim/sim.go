@@ -1,36 +1,3 @@
-// Package sim is the discrete-epoch simulator tying the AC-RR optimizer to
-// the rest of the system: per-epoch slice arrivals, Holt-Winters
-// forecasting over monitored peak loads, admission/reservation decisions,
-// realized traffic, and revenue/SLA accounting (§2.2.2, §4.3 of the paper).
-//
-// The run is a pipeline of four stages per epoch, mirroring the paper's
-// control flow exactly:
-//
-//  1. assemble — requests that arrived during the previous epoch (plus
-//     re-offered pending ones) join the committed slices in an AC-RR
-//     instance;
-//  2. decide — the configured solver (Benders / KAC / direct, with or
-//     without overbooking) decides admission, placement and reservations.
-//     The Benders solver is a cross-epoch session by default: still-valid
-//     cuts and the slave simplex basis carry over whenever consecutive
-//     instances differ only in forecasts (see core.BendersSession), with a
-//     verified cold rebuild on arrivals/departures. Config.ColdSolver
-//     forces a from-scratch solve every epoch; decisions are identical
-//     either way — only wall-clock changes;
-//  3. measure — κ monitoring samples of actual traffic are drawn per
-//     (slice, BS), fanned out per tenant over internal/parallel (each
-//     tenant owns its seeded generators, so results are bit-identical at
-//     any worker count); the per-epoch peak feeds each slice's forecaster
-//     (the max-aggregation of §2.2.2), and realized revenue = rewards −
-//     penalty·(dropped SLA fraction) is booked;
-//  4. lifecycle — slice lifetimes tick down and expired slices release
-//     resources.
-//
-// New slices have no monitored history, so they are admitted — if at all —
-// at their full SLA reservation (λ̂ = Λ, σ̂ = 1); overbooking gains appear
-// only after the forecaster has seen enough epochs to trust a lower peak,
-// which reproduces the paper's observation that overbooking runs need
-// longer to reach steady state (§4.3.2).
 package sim
 
 import (
@@ -44,6 +11,7 @@ import (
 	"repro/internal/slice"
 	"repro/internal/topology"
 	"repro/internal/traffic"
+	"repro/internal/yield"
 )
 
 // Algorithm selects the AC-RR solver.
@@ -189,6 +157,11 @@ type Result struct {
 	// conditioned on violation.
 	ViolationProb float64
 	MeanDrop      float64
+	// Yield is the run's revenue account in the shared ledger vocabulary
+	// (internal/yield): per-slice reward/penalty/realized totals plus the
+	// solver-side expected revenue per epoch — the same Summary shape the
+	// online closed loop publishes through /metrics.
+	Yield yield.Summary
 }
 
 // Trace renders the full run as a deterministic text fingerprint: every
@@ -298,6 +271,7 @@ type engine struct {
 	solver epochSolver
 
 	res             *Result
+	ledger          *yield.Ledger
 	totalViolations int
 	totalSamples    int
 	dropSum         float64
@@ -334,6 +308,7 @@ func newEngine(cfg Config) (*engine, error) {
 		nBS:    cfg.Net.NumBS(),
 		solver: solver,
 		res:    &Result{Config: cfg},
+		ledger: yield.NewLedger(),
 	}
 	eng.states = make([]*tenantState, len(cfg.Slices))
 	for i, sp := range cfg.Slices {
@@ -342,7 +317,7 @@ func newEngine(cfg Config) (*engine, error) {
 		st := &tenantState{spec: sp, sla: sla, remaining: sp.Duration}
 		st.gens = make([]traffic.Generator, eng.nBS)
 		for b := 0; b < eng.nBS; b++ {
-			st.gens[b] = newGenerator(cfg, sp, b)
+			st.gens[b] = NewGenerator(cfg, sp, b)
 		}
 		st.fc = forecast.NewAdaptive(0.5, 0.05, 0.15, cfg.HWPeriod)
 		eng.states[i] = st
@@ -350,8 +325,11 @@ func newEngine(cfg Config) (*engine, error) {
 	return eng, nil
 }
 
-// newGenerator builds the per-(slice, BS) load process for the spec.
-func newGenerator(cfg Config, sp SliceSpec, b int) traffic.Generator {
+// NewGenerator builds the per-(slice, BS) load process for the spec —
+// exactly the generator the simulator's measurement stage draws from.
+// Exported so online drivers (the closed-loop tests, loadgen's measured
+// mode) can replay the same traffic the offline pipeline would have seen.
+func NewGenerator(cfg Config, sp SliceSpec, b int) traffic.Generator {
 	seed := sp.Seed*1000 + int64(b) + 1
 	shape := sp.Shape
 	if shape == ShapeAuto {
@@ -388,6 +366,7 @@ func (e *engine) step(t int) error {
 	}
 	es := EpochStats{Epoch: t, ExpectedRevenue: dec.Revenue(),
 		DeficitCost: inst.BigM * (dec.DeficitRadio + dec.DeficitTransport + dec.DeficitCompute)}
+	e.ledger.BookExpected("sim", es.ExpectedRevenue)
 	e.measure(t, dec, idxOf, &es)
 	e.totalViolations += es.Violations
 	e.totalSamples += es.Samples
@@ -435,6 +414,7 @@ func (e *engine) assemble(t int) ([]core.TenantSpec, []int) {
 // order and advances lifecycles.
 func (e *engine) measure(t int, dec *core.Decision, idxOf []int, es *EpochStats) {
 	outcomes := make([]TenantEpoch, len(idxOf))
+	assessments := make([]*yield.Assessment, len(idxOf))
 	parallel.ForEach(len(idxOf), e.cfg.Workers, func(ti int) {
 		st := e.states[idxOf[ti]]
 		te := TenantEpoch{Name: st.spec.Name, Type: st.spec.Template.Type}
@@ -454,10 +434,13 @@ func (e *engine) measure(t int, dec *core.Decision, idxOf []int, es *EpochStats)
 		te.Reserved = append([]float64(nil), dec.Z[ti]...)
 		te.PathIdx = append([]int(nil), dec.PathIdx[ti]...)
 
-		// Draw the epoch's monitoring samples per BS.
+		// Draw the epoch's monitoring samples per BS, scoring each one
+		// through the shared yield assessment. The assessment performs
+		// the identical arithmetic (in-SLA clipping, deficit/Λ drops,
+		// R − K·f pricing) in the identical order, so moving the
+		// economics into internal/yield cannot shift a trace by a bit.
 		te.Peak = make([]float64, e.nBS)
-		lam := st.sla.RateMbps
-		var epochDrop float64
+		as := yield.NewAssessment(st.sla.RateMbps)
 		maxPeak := 0.0
 		for b := 0; b < e.nBS; b++ {
 			for theta := 0; theta < e.cfg.SamplesPerEpoch; theta++ {
@@ -465,22 +448,16 @@ func (e *engine) measure(t int, dec *core.Decision, idxOf []int, es *EpochStats)
 				if load > te.Peak[b] {
 					te.Peak[b] = load
 				}
-				inSLA := math.Min(load, lam)
-				if deficit := inSLA - dec.Z[ti][b]; deficit > 1e-9 {
-					te.Violated++
-					epochDrop += deficit / lam
-				}
+				as.Sample(load, dec.Z[ti][b])
 			}
 			if te.Peak[b] > maxPeak {
 				maxPeak = te.Peak[b]
 			}
 		}
-		samples := float64(e.cfg.SamplesPerEpoch * e.nBS)
-		te.Dropped = epochDrop / samples
-		// Realized revenue: reward minus penalty proportional to the
-		// dropped SLA fraction (K = m·R, so dropping 10% of the SLA
-		// costs 10%·m of the reward — the paper's penalty design).
-		te.Revenue = st.sla.Reward - st.sla.Penalty*te.Dropped
+		te.Violated = as.Violated()
+		te.Dropped = as.DroppedFrac()
+		te.Revenue = as.Realized(st.sla.Reward, st.sla.Penalty)
+		assessments[ti] = as
 
 		// Feed the forecaster with the across-BS peak (conservative
 		// max-aggregation) and tick the lifetime.
@@ -492,7 +469,9 @@ func (e *engine) measure(t int, dec *core.Decision, idxOf []int, es *EpochStats)
 		outcomes[ti] = te
 	})
 
-	// Deterministic reduction in tenant order.
+	// Deterministic reduction in tenant order; ledger booking happens
+	// here, never in the workers, so the account is identical at any
+	// worker count.
 	for ti := range idxOf {
 		te := outcomes[ti]
 		if te.Active {
@@ -504,6 +483,8 @@ func (e *engine) measure(t int, dec *core.Decision, idxOf []int, es *EpochStats)
 				e.dropSum += te.Dropped
 				e.dropCount++
 			}
+			st := e.states[idxOf[ti]]
+			e.ledger.Book(assessments[ti].Entry(te.Name, t, st.sla.Reward, st.sla.Penalty))
 		}
 		es.Tenants = append(es.Tenants, te)
 	}
@@ -527,18 +508,16 @@ func (e *engine) finish() *Result {
 	if e.dropCount > 0 {
 		res.MeanDrop = e.dropSum / float64(e.dropCount)
 	}
+	res.Yield = e.ledger.Snapshot()
 	return res
 }
 
 // forecastView returns (λ̂, σ̂) for the tenant: full-SLA conservatism until
-// the forecaster has warmed up, the (optionally padded) peak forecast
-// afterwards.
+// the slice is committed and the forecaster has warmed up, the (optionally
+// padded) peak forecast afterwards — the shared forecast.View reading.
 func (st *tenantState) forecastView(pad float64) (float64, float64) {
-	sigma := st.fc.Uncertainty()
-	lam := st.sla.RateMbps
-	if !st.committed || sigma >= 1 {
-		return lam, 1 // no trusted history: reserve the full SLA
+	if !st.committed {
+		return st.sla.RateMbps, 1 // never admitted: no monitored history yet
 	}
-	pred := st.fc.Forecast(1)[0] * (1 + pad*sigma)
-	return math.Min(pred, lam), sigma
+	return forecast.View(st.fc, st.sla.RateMbps, pad)
 }

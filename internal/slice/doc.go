@@ -1,0 +1,5 @@
+// Package slice defines the network-slice service model of the paper:
+// tenants, slice templates, and the SLA tuple Φτ = {sτ, Δτ, Λτ, Lτ} (§2.2.1)
+// together with the three 3GPP NSSAI slice types of Table 1 (eMBB, mMTC,
+// uRLLC) used throughout the evaluation.
+package slice

@@ -1,18 +1,3 @@
-// Package topology models the multi-domain mobile data plane of the paper:
-// a radio access network of base stations (BSs), a distributed computing
-// fabric of computing units (CUs), and an SDN transport network connecting
-// them, modelled as an undirected graph whose edges are capacity-limited
-// links (§2.1 of the paper).
-//
-// It provides the store-and-forward path delay model of §4.3.1 (footnote
-// 11), k-shortest path enumeration between every BS and CU (the offline
-// P_{b,c} sets the AC-RR optimizer consumes), and deterministic synthetic
-// generators reproducing the published characteristics of the three real
-// European operator networks the paper evaluates on (Fig. 4): the operators'
-// raw GIS data is confidential, so the generators are tuned to every
-// statistic the paper reports — BS counts, path-diversity means, link
-// technology mixes, capacity ranges (2–200 Gb/s) and BS–CU distances
-// (0.1–20 km).
 package topology
 
 import (

@@ -1,0 +1,7 @@
+// Package traffic generates the vertical-service load processes the
+// evaluation uses: per-monitoring-sample Gaussian demand with configurable
+// mean and standard deviation (§4.3.2: λ(θ) ~ N(λ̄, σ) with λ̄ = αΛ),
+// deterministic mMTC streams, and diurnal day-shaped profiles for the
+// testbed experiment of §5. It stands in for the mgen traffic VMs of the
+// paper's proof-of-concept.
+package traffic

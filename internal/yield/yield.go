@@ -1,0 +1,218 @@
+package yield
+
+import (
+	"sort"
+	"sync"
+)
+
+// violationEps is the slack below which a reservation deficit is treated as
+// numerical noise rather than an SLA violation. It matches the tolerance
+// the simulator has always used, so refactoring the accounting onto this
+// package cannot move a single violation count.
+const violationEps = 1e-9
+
+// Assessment scores one slice's monitored samples for one epoch against
+// the per-BS reservation that was in force. Feed every monitoring sample
+// through Sample, then read the epoch's violation count, dropped SLA
+// fraction, and realized revenue. Not safe for concurrent use; each
+// (slice, epoch) gets its own Assessment.
+type Assessment struct {
+	lam      float64 // Λ: the SLA bitrate demand is clipped to
+	samples  int
+	violated int
+	dropSum  float64 // Σ deficit/Λ over violated samples
+}
+
+// NewAssessment starts an epoch assessment for a slice with SLA bitrate
+// lamMbps (Λ, per radio site).
+func NewAssessment(lamMbps float64) *Assessment {
+	return &Assessment{lam: lamMbps}
+}
+
+// Sample books one monitoring observation: load is the measured demand at
+// one element during one monitoring slot, reserved the reservation z held
+// there. Demand beyond the SLA is the tenant's own excess and never counts
+// as a violation (the paper's in-SLA clipping); a reservation deficit on
+// in-SLA demand is a violation whose dropped fraction accumulates.
+func (a *Assessment) Sample(load, reserved float64) {
+	inSLA := load
+	if inSLA > a.lam {
+		inSLA = a.lam
+	}
+	if deficit := inSLA - reserved; deficit > violationEps {
+		a.violated++
+		a.dropSum += deficit / a.lam
+	}
+	a.samples++
+}
+
+// Violated returns the number of violated samples so far.
+func (a *Assessment) Violated() int { return a.violated }
+
+// Samples returns the number of samples booked so far.
+func (a *Assessment) Samples() int { return a.samples }
+
+// DroppedFrac returns the epoch's mean dropped SLA fraction over all
+// booked samples (0 when nothing was booked).
+func (a *Assessment) DroppedFrac() float64 {
+	if a.samples == 0 {
+		return 0
+	}
+	return a.dropSum / float64(a.samples)
+}
+
+// Realized returns the epoch's realized net revenue under the paper's
+// penalty design: reward R minus K·(dropped fraction), so with K = m·R a
+// slice that loses a fraction f of its SLA pays f·m of its reward back.
+func (a *Assessment) Realized(reward, penalty float64) float64 {
+	return reward - penalty*a.DroppedFrac()
+}
+
+// Entry renders the assessment as one ledger line for the given slice and
+// epoch, pricing it with the slice's commercial terms.
+func (a *Assessment) Entry(slice string, epoch int, reward, penalty float64) Entry {
+	return Entry{
+		Slice:    slice,
+		Epoch:    epoch,
+		Reward:   reward,
+		Penalty:  penalty * a.DroppedFrac(),
+		Realized: a.Realized(reward, penalty),
+		Violated: a.violated,
+		Samples:  a.samples,
+		Dropped:  a.DroppedFrac(),
+	}
+}
+
+// Entry is one (slice, epoch) line of the ledger.
+type Entry struct {
+	Slice string `json:"slice"`
+	Epoch int    `json:"epoch"`
+	// Reward is the full epoch reward R; Penalty the booked penalty K·f;
+	// Realized their difference.
+	Reward   float64 `json:"reward"`
+	Penalty  float64 `json:"penalty"`
+	Realized float64 `json:"realized"`
+	// Violated / Samples count monitoring samples; Dropped is the mean
+	// dropped SLA fraction over the epoch's samples.
+	Violated int     `json:"violated"`
+	Samples  int     `json:"samples"`
+	Dropped  float64 `json:"dropped"`
+}
+
+// SliceTotals aggregates one slice's ledger lines.
+type SliceTotals struct {
+	Slice    string  `json:"slice"`
+	Epochs   int     `json:"epochs"`
+	Reward   float64 `json:"reward"`
+	Penalty  float64 `json:"penalty"`
+	Realized float64 `json:"realized"`
+	Violated int     `json:"violated"`
+	Samples  int     `json:"samples"`
+}
+
+// Summary is a consistent snapshot of a Ledger.
+type Summary struct {
+	// Realized = Reward − Penalty over every booked entry: the paper's net
+	// yield, measured.
+	Realized float64 `json:"realized"`
+	Reward   float64 `json:"reward"`
+	Penalty  float64 `json:"penalty"`
+	// Expected totals the solver-side estimates (−Ψ) booked per decision
+	// round; ExpectedRounds counts them. Realized − Expected is the
+	// forecaster's pricing error made visible.
+	Expected       float64 `json:"expected"`
+	ExpectedRounds int     `json:"expected_rounds"`
+	// Entries counts booked (slice, epoch) lines; Violated/Samples count
+	// monitoring samples; ViolationProb is their ratio (the §4.3.3
+	// footprint metric).
+	Entries       int     `json:"entries"`
+	Violated      int     `json:"violated"`
+	Samples       int     `json:"samples"`
+	ViolationProb float64 `json:"violation_prob"`
+	// PerSlice is sorted by slice name, so two ledgers fed the same books
+	// in any order snapshot identically.
+	PerSlice []SliceTotals `json:"per_slice,omitempty"`
+}
+
+// Ledger is the running revenue account. Safe for concurrent use. Totals
+// are accumulated per slice (realized side) and per source (expected
+// side) and reduced in sorted-key order, so the booking interleave ACROSS
+// slices and sources never affects a Snapshot — only the order within one
+// key does, and every in-tree booker is serial per key: the closed-loop
+// controller books a slice's entries in epoch order, and an admission
+// domain's rounds (one expected booking each) execute serially on its
+// one shard.
+type Ledger struct {
+	mu             sync.Mutex
+	perSlice       map[string]*SliceTotals
+	expected       map[string]float64 // per booking source (domain)
+	expectedRounds int
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{perSlice: map[string]*SliceTotals{}, expected: map[string]float64{}}
+}
+
+// Book adds one entry to the account.
+func (l *Ledger) Book(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.perSlice[e.Slice]
+	if st == nil {
+		st = &SliceTotals{Slice: e.Slice}
+		l.perSlice[e.Slice] = st
+	}
+	st.Epochs++
+	st.Reward += e.Reward
+	st.Penalty += e.Penalty
+	st.Realized += e.Realized
+	st.Violated += e.Violated
+	st.Samples += e.Samples
+}
+
+// BookExpected adds one decision round's solver-estimated net revenue
+// (core.Decision.Revenue(), the −Ψ of the AC-RR objective) under the
+// given source key — the admission domain, for engine-booked rounds.
+// Per-source accumulation is what keeps Summary.Expected reproducible
+// when several domains' shard workers book concurrently.
+func (l *Ledger) BookExpected(source string, v float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expected[source] += v
+	l.expectedRounds++
+}
+
+// Snapshot returns the current account, per-slice lines sorted by name.
+func (l *Ledger) Snapshot() Summary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.perSlice))
+	for n := range l.perSlice {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	sources := make([]string, 0, len(l.expected))
+	for src := range l.expected {
+		sources = append(sources, src)
+	}
+	sort.Strings(sources)
+	s := Summary{ExpectedRounds: l.expectedRounds}
+	for _, src := range sources {
+		s.Expected += l.expected[src]
+	}
+	for _, n := range names {
+		st := *l.perSlice[n]
+		s.PerSlice = append(s.PerSlice, st)
+		s.Entries += st.Epochs
+		s.Reward += st.Reward
+		s.Penalty += st.Penalty
+		s.Realized += st.Realized
+		s.Violated += st.Violated
+		s.Samples += st.Samples
+	}
+	if s.Samples > 0 {
+		s.ViolationProb = float64(s.Violated) / float64(s.Samples)
+	}
+	return s
+}

@@ -1,0 +1,137 @@
+package yield
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestAssessmentScoresInSLADeficitsOnly(t *testing.T) {
+	a := NewAssessment(10)
+
+	a.Sample(4, 5)  // demand under the reservation: fine
+	a.Sample(50, 5) // demand beyond the SLA is clipped to Λ=10: deficit 5
+	a.Sample(8, 5)  // in-SLA demand 8 over reservation 5: deficit 3
+	a.Sample(5, 5)  // exactly met: fine
+
+	if got := a.Samples(); got != 4 {
+		t.Fatalf("samples = %d, want 4", got)
+	}
+	if got := a.Violated(); got != 2 {
+		t.Fatalf("violated = %d, want 2", got)
+	}
+	// dropSum = 5/10 + 3/10 = 0.8 over 4 samples.
+	if got, want := a.DroppedFrac(), 0.2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("dropped = %v, want %v", got, want)
+	}
+	// R=2, K=m·R with m=4 → penalty 8·0.2 = 1.6, realized 0.4.
+	if got, want := a.Realized(2, 8), 0.4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("realized = %v, want %v", got, want)
+	}
+
+	e := a.Entry("s1", 7, 2, 8)
+	if e.Slice != "s1" || e.Epoch != 7 || e.Violated != 2 || e.Samples != 4 {
+		t.Fatalf("entry identity fields wrong: %+v", e)
+	}
+	if math.Abs(e.Reward-e.Penalty-e.Realized) > 1e-12 {
+		t.Fatalf("entry does not balance: %+v", e)
+	}
+}
+
+func TestAssessmentEmptyIsNeutral(t *testing.T) {
+	a := NewAssessment(10)
+	if a.DroppedFrac() != 0 {
+		t.Fatal("empty assessment dropped a fraction")
+	}
+	if got := a.Realized(3, 12); got != 3 {
+		t.Fatalf("empty assessment realized %v, want the full reward", got)
+	}
+}
+
+// TestLedgerSnapshotInterleaveIndependent books the same per-slice entry
+// sequences under two different cross-slice interleaves — round-robin vs
+// grouped by slice — and requires bit-identical snapshots: totals live per
+// slice and reduce in sorted-name order, so only a slice's own booking
+// order (fixed by the epoch sequence) can matter. This is the property the
+// closed-loop determinism tests lean on.
+func TestLedgerSnapshotInterleaveIndependent(t *testing.T) {
+	entries := make([]Entry, 0, 60)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		a := NewAssessment(25)
+		for k := 0; k < 12; k++ {
+			a.Sample(rng.Float64()*30, 18)
+		}
+		entries = append(entries, a.Entry([]string{"a", "b", "c"}[i%3], i/3, 2.2, 4.4))
+	}
+
+	book := func(perm []int) Summary {
+		l := NewLedger()
+		for _, i := range perm {
+			l.Book(entries[i])
+		}
+		l.BookExpected("sim", 10.5)
+		l.BookExpected("sim", -1.25)
+		return l.Snapshot()
+	}
+
+	// Round-robin across slices (the construction order) vs grouped by
+	// slice; both preserve each slice's own epoch order.
+	roundRobin := make([]int, 0, len(entries))
+	grouped := make([]int, 0, len(entries))
+	for i := range entries {
+		roundRobin = append(roundRobin, i)
+	}
+	for mod := 0; mod < 3; mod++ {
+		for i := range entries {
+			if i%3 == mod {
+				grouped = append(grouped, i)
+			}
+		}
+	}
+	s1, s2 := book(roundRobin), book(grouped)
+
+	if len(s1.PerSlice) != 3 || s1.PerSlice[0].Slice != "a" || s1.PerSlice[2].Slice != "c" {
+		t.Fatalf("per-slice lines not sorted: %+v", s1.PerSlice)
+	}
+	// Per-slice totals accumulate per slice and reduce in sorted order, so
+	// the two bookings must agree exactly, not just approximately.
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots diverge:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Expected != 9.25 || s1.ExpectedRounds != 2 {
+		t.Fatalf("expected side wrong: %+v", s1)
+	}
+	if s1.Entries != 60 || s1.Samples != 60*12 {
+		t.Fatalf("counts wrong: %+v", s1)
+	}
+	if s1.ViolationProb != float64(s1.Violated)/float64(s1.Samples) {
+		t.Fatalf("violation prob inconsistent: %+v", s1)
+	}
+}
+
+// TestLedgerConcurrentBookingIsSafe is the race-detector smoke: many
+// goroutines booking disjoint slices plus expected-revenue rounds.
+func TestLedgerConcurrentBookingIsSafe(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for ep := 0; ep < 50; ep++ {
+				a := NewAssessment(10)
+				a.Sample(12, 8)
+				l.Book(a.Entry(string(rune('a'+g)), ep, 1, 2))
+				l.BookExpected(string(rune('a'+g)), 0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := l.Snapshot()
+	if s.Entries != 400 || s.ExpectedRounds != 400 || len(s.PerSlice) != 8 {
+		t.Fatalf("concurrent booking lost entries: %+v", s)
+	}
+}

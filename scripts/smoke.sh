@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Quickstart smoke: executes the commands README.md documents (CI-fast
+# variants where the documented command also offers a longer mode). A
+# stale flag, a renamed archetype, or a broken REST endpoint fails CI
+# here instead of failing the first reader who copies a command.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() { echo "smoke: $*"; "$@" > /dev/null; }
+
+run go run ./cmd/simctl -experiment table1
+run go run ./cmd/simctl -experiment fig4
+run go run ./cmd/simctl -experiment fig4 -full
+run go run ./cmd/simctl -experiment scaling
+run go run ./cmd/simctl -experiment forecast
+run go run ./cmd/testbed
+run go run ./cmd/scenario list
+run go run ./cmd/scenario run -name flash-crowd -seed 7
+# Seeds 42.. cross the distress seed the Benders fallback regression
+# guards (see internal/scenario/distress_test.go).
+run go run ./cmd/scenario sweep -name sla-mix -seeds 2
+run go run ./cmd/loadgen -scenario heavy-tail -domains 2 -tenants 4 -epochs 8
+run go run ./cmd/loadgen -scenario diurnal-drift -domains 1 -tenants 4 -epochs 10 -mode closed -reoffer
+run go run ./cmd/loadgen -scenario diurnal-drift -domains 1 -tenants 4 -epochs 10 -mode static -reoffer
+
+# The ovnes REST walkthrough, including the closed loop and yield surface.
+echo "smoke: ovnes REST walkthrough"
+go build -o /tmp/ovnes-smoke ./cmd/ovnes
+/tmp/ovnes-smoke -listen 127.0.0.1:18080 -collector 127.0.0.1:16343 -epoch-every 500ms &
+OVNES=$!
+trap 'kill "$OVNES" 2>/dev/null || true' EXIT
+for i in $(seq 1 40); do
+  curl -fsS 127.0.0.1:18080/epoch > /dev/null 2>&1 && break
+  sleep 0.25
+done
+curl -fsS -X POST 127.0.0.1:18080/requests -d \
+  '{"name":"u1","request":{"name":"u1","type":"uRLLC","duration_epochs":12}}' > /dev/null
+curl -fsS -X POST 127.0.0.1:18080/epoch > /dev/null
+sleep 1
+curl -fsS 127.0.0.1:18080/slices > /dev/null
+curl -fsS 127.0.0.1:18080/metrics | grep -q '"yield"'
+curl -fsS 127.0.0.1:18080/yield > /dev/null
+kill -TERM "$OVNES"
+wait "$OVNES"
+trap - EXIT
+echo "smoke: quickstart OK"
