@@ -8,7 +8,7 @@ GO ?= go
 # catching wholesale test deletions or big untested subsystems.
 COVER_FLOOR ?= 75
 
-.PHONY: build test test-race vet fmt-check bench bench-smoke bench-json fuzz-smoke cover docs-check links-check smoke ci
+.PHONY: build test test-race vet fmt-check bench bench-smoke bench-json bench-compare fuzz-smoke cover docs-check links-check smoke ci
 
 build:
 	$(GO) build ./...
@@ -36,17 +36,47 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-json runs every benchmark once and captures the results — name,
-# ns/op, custom metrics like req/s — as a machine-readable perf artifact.
-# One file per PR (BENCH_JSON=BENCH_PR<n>.json) makes the repository's perf
-# trajectory diffable instead of being archaeology over CI logs. It also
-# subsumes bench-smoke: every benchmark path must still compile and run.
-BENCH_JSON ?= BENCH_PR4.json
+# ns/op, allocation counts (-benchmem), custom metrics like req/s — as a
+# machine-readable perf artifact. One file per PR
+# (BENCH_JSON=BENCH_PR<n>.json) makes the repository's perf trajectory
+# diffable instead of being archaeology over CI logs. It also subsumes
+# bench-smoke: every benchmark path must still compile and run.
+#
+# The run is pinned for file-to-file comparability (bench-compare diffs
+# these artifacts): GOMAXPROCS is fixed so benchmark names carry no -N
+# procs suffix and scheduling is stable, and -benchtime is fixed at one
+# iteration. Override BENCH_PROCS only together with a fresh baseline.
+BENCH_JSON  ?= BENCH_PR5.json
+BENCH_PROCS ?= 1
 
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > bench.raw || { rm -f bench.raw; exit 1; }
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > bench.raw || { rm -f bench.raw; exit 1; }
 	$(GO) run ./cmd/benchjson < bench.raw > $(BENCH_JSON) || { rm -f bench.raw $(BENCH_JSON); exit 1; }
 	@rm -f bench.raw
 	@echo "wrote $(BENCH_JSON)"
+
+# bench-compare is the perf-regression gate: it diffs the freshly captured
+# BENCH_JSON against the committed baseline BASE and fails on a
+# >BENCH_THRESHOLD ns/op regression of any hot benchmark (the named
+# end-to-end paths below; one-shot timings of sub-millisecond benchmarks
+# are too noisy to gate). The default 15% threshold assumes BASE was
+# captured on the same machine with the same pinned bench-json settings;
+# when the baseline crosses machines (the committed file vs a hosted CI
+# runner) pass a wider BENCH_THRESHOLD to absorb hardware variance — the
+# workflow uses 0.30, still far inside the multi-x deltas a real solver
+# regression produces on these benchmarks.
+#
+# One-time baseline note: BENCH_PR4.json predates the GOMAXPROCS pin and
+# -benchmem, but was captured on a 1-core container — its suffix-free
+# benchmark names prove it effectively ran at GOMAXPROCS=1 — so it is
+# comparable to the pinned runs; from PR 5 on, baselines and fresh runs
+# share identical settings by construction.
+BASE            ?= BENCH_PR4.json
+BENCH_THRESHOLD ?= 0.15
+HOT_BENCHES     ?= BenchmarkFig5Homogeneous,BenchmarkFig6Heterogeneous,BenchmarkSimRun/warm,BenchmarkAdmissionThroughput/shards=1
+
+bench-compare:
+	$(GO) run ./cmd/benchjson compare -threshold $(BENCH_THRESHOLD) -hot '$(HOT_BENCHES)' $(BASE) $(BENCH_JSON)
 
 # fuzz-smoke gives each native fuzz target a short budget; crashes found in
 # CI reproduce locally via the corpus file Go writes on failure.
@@ -89,4 +119,4 @@ cover:
 	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN{exit !(t>=f)}' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-ci: build vet fmt-check docs-check links-check test-race cover fuzz-smoke smoke bench-json
+ci: build vet fmt-check docs-check links-check test-race cover fuzz-smoke smoke bench-json bench-compare

@@ -1,24 +1,37 @@
-// Command benchjson converts `go test -bench` output on stdin into a
-// machine-readable JSON document on stdout, so the repository's perf
-// trajectory can be tracked file-to-file across PRs (BENCH_PR3.json
-// onward) instead of being archaeology over CI logs.
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON document, and diffs two such documents as the
+// repository's perf-regression gate.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_PR3.json
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_PR5.json
+//	benchjson compare [-threshold 0.15] [-hot name,name,...] BASE.json NEW.json
 //
-// Every benchmark line is captured with its package, name, -cpu suffix,
-// iteration count, ns/op, and all custom metrics (req/s, B/op, ...).
-// Non-benchmark output — figure artifacts, log lines — is ignored.
+// Capture mode (the default, stdin → stdout) records every benchmark line
+// with its package, name, -cpu suffix, iteration count, ns/op, and all
+// custom metrics (req/s, B/op, allocs/op, ...). Non-benchmark output —
+// figure artifacts, log lines — is ignored. One file per PR
+// (BENCH_PR3.json onward) makes the perf trajectory diffable instead of
+// being archaeology over CI logs.
+//
+// Compare mode prints a per-benchmark ns/op delta table between a baseline
+// file and a new file, and exits nonzero when any benchmark named in -hot
+// is missing from either file or regressed by more than -threshold
+// (default 15%). The files must come from the same machine and the same
+// pinned `make bench-json` settings (fixed GOMAXPROCS, fixed -benchtime)
+// for the comparison to mean anything; CI regenerates the new file in the
+// same job that gates on it.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,6 +61,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(compare(os.Args[2:]))
+	}
+	capture()
+}
+
+// capture reads `go test -bench` output on stdin and writes the JSON
+// document on stdout.
+func capture() {
 	doc := Document{Results: []Result{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -117,4 +139,129 @@ func parseResult(pkg string, m []string) (Result, bool) {
 		r.Metrics = nil
 	}
 	return r, true
+}
+
+// compare diffs two capture files and applies the hot-benchmark gate.
+// Returns the process exit code.
+func compare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.15, "max tolerated ns/op regression of a hot benchmark (fraction)")
+	hot := fs.String("hot", "", "comma-separated benchmark names gated against the threshold")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-threshold 0.15] [-hot a,b,...] BASE.json NEW.json")
+		return 2
+	}
+	base, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	next, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+
+	hotSet := map[string]bool{}
+	for _, h := range strings.Split(*hot, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hotSet[h] = true
+		}
+	}
+
+	baseBy := indexByPkgName(base)
+	nextBy := indexByPkgName(next)
+
+	keys := make([]string, 0, len(baseBy))
+	for k := range baseBy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("%-55s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	failed := false
+	seenHot := map[string]bool{}
+	for _, k := range keys {
+		b := baseBy[k]
+		n := b.Name
+		nw, ok := nextBy[k]
+		marker := ""
+		if hotSet[n] {
+			marker = " [hot]"
+			seenHot[n] = true
+		}
+		if !ok {
+			fmt.Printf("%-55s %14.0f %14s %9s%s\n", n, b.NsPerOp, "missing", "-", marker)
+			if hotSet[n] {
+				fmt.Printf("FAIL: hot benchmark %s missing from %s\n", n, fs.Arg(1))
+				failed = true
+			}
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (nw.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %+8.1f%%%s\n", n, b.NsPerOp, nw.NsPerOp, delta*100, marker)
+		if hotSet[n] && delta > *threshold {
+			fmt.Printf("FAIL: hot benchmark %s regressed %.1f%% (> %.0f%% threshold)\n",
+				n, delta*100, *threshold*100)
+			failed = true
+		}
+	}
+	// Benchmarks present only in the new file (added since the baseline):
+	// reported so the table reflects full coverage, never gated — there is
+	// nothing to regress from.
+	newKeys := make([]string, 0)
+	for k := range nextBy {
+		if _, ok := baseBy[k]; !ok {
+			newKeys = append(newKeys, k)
+		}
+	}
+	sort.Strings(newKeys)
+	for _, k := range newKeys {
+		nw := nextBy[k]
+		fmt.Printf("%-55s %14s %14.0f %9s\n", nw.Name, "(new)", nw.NsPerOp, "-")
+	}
+
+	for n := range hotSet {
+		if !seenHot[n] {
+			fmt.Printf("FAIL: hot benchmark %s not present in %s\n", n, fs.Arg(0))
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Println("benchjson compare: no hot-benchmark regressions")
+	return 0
+}
+
+// indexByPkgName keys results by package plus benchmark name (with
+// sub-benchmark path, without the -N procs suffix, which capture already
+// stripped): same-named benchmarks in different packages must not collide,
+// or the gate could pair a baseline from one package with a measurement
+// from another. Hot-gate matching stays on the bare name — if a hot name
+// ever appears in two packages, both rows are gated.
+func indexByPkgName(d *Document) map[string]Result {
+	by := make(map[string]Result, len(d.Results))
+	for _, r := range d.Results {
+		by[r.Pkg+" "+r.Name] = r
+	}
+	return by
+}
+
+func loadDoc(path string) (*Document, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Document
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 )
@@ -55,5 +58,114 @@ func TestParseBenchLines(t *testing.T) {
 				t.Fatalf("got %+v\nwant %+v", got, tc.want)
 			}
 		})
+	}
+}
+
+// writeDoc drops a Document to a temp file for compare-mode tests.
+func writeDoc(t *testing.T, dir, name string, results []Result) string {
+	t.Helper()
+	raw, err := json.Marshal(Document{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", []Result{
+		{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1000},
+		{Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500},
+	})
+
+	cases := []struct {
+		name string
+		next []Result
+		args []string
+		want int
+	}{
+		{
+			name: "improvement passes",
+			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 400}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500}},
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 0,
+		},
+		{
+			name: "small regression within threshold passes",
+			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1100}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500}},
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 0,
+		},
+		{
+			name: "hot regression beyond threshold fails",
+			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1200}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500}},
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 1,
+		},
+		{
+			name: "cold regression is reported but not gated",
+			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1000}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 5000}},
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 0,
+		},
+		{
+			name: "missing hot benchmark fails",
+			next: []Result{{Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500}},
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 1,
+		},
+		{
+			name: "custom threshold",
+			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1400}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500}},
+			args: []string{"-hot", "BenchmarkHot", "-threshold", "0.5"},
+			want: 0,
+		},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			next := writeDoc(t, dir, "next.json", tc.next)
+			args := append(append([]string{}, tc.args...), base, next)
+			if got := compare(args); got != tc.want {
+				t.Fatalf("compare exit = %d, want %d (case %d)", got, tc.want, i)
+			}
+		})
+	}
+}
+
+// TestComparePkgCollision: same-named benchmarks in different packages must
+// be paired per package, not collide — a hot regression in one package
+// cannot hide behind an improvement of its namesake in another.
+func TestComparePkgCollision(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "cbase.json", []Result{
+		{Pkg: "repro/internal/lp", Name: "BenchmarkSolve", NsPerOp: 1000},
+		{Pkg: "repro/internal/milp", Name: "BenchmarkSolve", NsPerOp: 1000},
+	})
+	next := writeDoc(t, dir, "cnext.json", []Result{
+		{Pkg: "repro/internal/lp", Name: "BenchmarkSolve", NsPerOp: 100},    // big improvement
+		{Pkg: "repro/internal/milp", Name: "BenchmarkSolve", NsPerOp: 2000}, // big regression
+	})
+	if got := compare([]string{"-hot", "BenchmarkSolve", base, next}); got != 1 {
+		t.Fatalf("compare exit = %d, want 1 (the milp regression must not be masked by the lp improvement)", got)
+	}
+}
+
+// TestCompareReportsNewBenchmarks: benchmarks added since the baseline
+// appear in the table as "(new)" rows and are never gated.
+func TestCompareReportsNewBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "nbase.json", []Result{
+		{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1000},
+	})
+	next := writeDoc(t, dir, "nnext.json", []Result{
+		{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 900},
+		{Pkg: "p", Name: "BenchmarkAdded", NsPerOp: 123},
+	})
+	if got := compare([]string{"-hot", "BenchmarkHot", base, next}); got != 0 {
+		t.Fatalf("compare exit = %d, want 0 (a new benchmark must not fail the gate)", got)
 	}
 }

@@ -9,7 +9,10 @@
 //
 //	loadgen [-scenario flash-crowd] [-seed 42] [-domains 8] [-shards 0]
 //	        [-epochs 0] [-tenants 0] [-algo ""] [-queue 1024] [-tenant-cap 0]
-//	        [-reoffer] [-mode drift]
+//	        [-reoffer] [-mode drift] [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -cpuprofile/-memprofile capture pprof profiles of the run (the solver
+// dominates); see EXPERIMENTS.md "Profiling the solver" for the workflow.
 //
 // -mode selects the forecast feed:
 //
@@ -43,6 +46,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/monitor"
+	"repro/internal/profiling"
 	"repro/internal/reopt"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -67,8 +71,17 @@ func main() {
 		tenantCap = flag.Int("tenant-cap", 0, "per-tenant fairness cap (0 = queue depth)")
 		reoffer   = flag.Bool("reoffer", false, "re-offer rejected requests every epoch")
 		mode      = flag.String("mode", "drift", "forecast feed: drift | closed | static")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 	switch *mode {
 	case "drift", "closed", "static":
 	default:

@@ -32,7 +32,11 @@
 //     rebuilding it (PR 1/2's sameSolverShape machinery); rounds that
 //     change the tenant set cold-rebuild, which is always correct. Shards
 //     scale throughput across domains while keeping each domain's decision
-//     stream strictly sequential.
+//     stream strictly sequential. Because each session owns its lp.Basis —
+//     and with it the sparse LU factors, scratch vectors and solution
+//     buffers of the solver workspace — a shard's steady-state rounds run
+//     allocation-free in the LP: solver memory is paid once per domain,
+//     not once per round.
 //
 //  4. Determinism. A round's instance is built in canonical order —
 //     committed slices in admission order, then the batch sorted by request

@@ -27,12 +27,21 @@ type slaveProblem struct {
 	// basis carries the revised-simplex state across solves: successive
 	// P_S(x̄) instances differ only in their right-hand sides, so the
 	// previous optimal basis stays dual feasible and re-entry costs a few
-	// dual simplex pivots instead of a full two-phase solve.
+	// dual simplex pivots instead of a full two-phase solve. The Basis also
+	// owns the solver workspace — sparse LU factors, scratch vectors,
+	// solution buffers — so the steady-state slave solve allocates nothing:
+	// every layer holding a session (the sim pipeline, each admission
+	// shard, the reopt controller) amortizes solver memory across epochs by
+	// construction.
 	basis lp.Basis
 }
 
 // solve runs the slave LP, warm-starting from the previous iteration's
-// basis unless the caller disabled it.
+// basis unless the caller disabled it. The warm Solution's X/Dual/Ray
+// slices are views into basis-owned buffers, valid until the next solve:
+// everything bendersSolve keeps (incumbent vectors, pooled duals) is
+// copied out before the next slave call, per lp.SolveFrom's ownership
+// contract.
 func (s *slaveProblem) solve(warm bool) (*lp.Solution, error) {
 	if !warm {
 		return s.p.Solve()

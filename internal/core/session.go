@@ -10,8 +10,10 @@ package core
 // certifies the solver matrices identical:
 //
 //   - the slave LP skeleton (no re-enumeration, no re-allocation);
-//   - the slave's simplex basis, so epoch t+1's first slave solve re-enters
-//     from epoch t's optimum via lp.Problem.SolveFrom (dual pivots after the
+//   - the slave's simplex basis — basic column set, sparse LU factorization
+//     and the solver workspace that makes steady-state warm solves
+//     allocation-free — so epoch t+1's first slave solve re-enters from
+//     epoch t's optimum via lp.Problem.SolveFrom (dual pivots after the
 //     RHS moved, primal pivots after the costs moved, verified cold
 //     fallback otherwise — the PR 1 safety contract);
 //   - the pool of dual vectors behind every cut discovered so far. Cuts are

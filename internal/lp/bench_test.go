@@ -77,3 +77,32 @@ func benchResolveRHS(b *testing.B, warm bool) {
 
 func BenchmarkColdSimplexResolveRHS(b *testing.B) { benchResolveRHS(b, false) }
 func BenchmarkWarmSimplexResolveRHS(b *testing.B) { benchResolveRHS(b, true) }
+
+// BenchmarkWarmSlaveSteadySolve measures the steady-state warm solve the
+// Benders slave runs every admission round: the problem structure, basis
+// factorization and workspace are already warm, each op rewrites one RHS
+// and re-enters via SolveFrom. ReportAllocs pins the tentpole contract in
+// the BENCH_PR*.json trajectory: 0 allocs/op on this path (asserted hard
+// by TestWarmSteadyStateZeroAllocs).
+func BenchmarkWarmSlaveSteadySolve(b *testing.B) {
+	p := randomLP(100, 100, 2)
+	var basis Basis
+	if _, err := p.SolveFrom(&basis); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ { // reach the steady amortized footprint
+		p.SetRHS(i%100, float64(1+i%7))
+		if _, err := p.SolveFrom(&basis); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SetRHS(i%100, float64(1+i%7))
+		s, err := p.SolveFrom(&basis)
+		if err != nil || s.Status != Optimal {
+			b.Fatalf("status %v err %v", s.Status, err)
+		}
+	}
+}

@@ -1,5 +1,7 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs, with dual-value extraction and Farkas infeasibility certificates.
+// Package lp implements a two-phase primal simplex solver for linear
+// programs — with dual-value extraction and Farkas infeasibility
+// certificates — plus a warm-start revised simplex over a sparse
+// LU-factorized basis for re-solve sequences.
 //
 // It is the substrate that replaces the commercial CPLEX solver used by the
 // paper "Overbooking Network Slices through Yield-driven End-to-End
@@ -19,6 +21,13 @@
 //
 // Upper bounds on variables are expressed as ordinary constraint rows.
 // Internally the solver converts to equality standard form with slack and
-// artificial variables and runs a two-phase dense tableau simplex with
-// Dantzig pricing and a Bland's-rule fallback that guarantees termination.
+// artificial variables. One-shot solves (Solve) run a two-phase tableau
+// simplex — dense, flat strided storage — with Dantzig pricing and a
+// Bland's-rule fallback that guarantees termination. Re-solve sequences
+// (SolveFrom with a Basis) run a revised simplex over a sparse LU
+// factorization of the basis matrix with a bounded product-form eta file
+// and Devex pricing; all scratch lives in a Basis-owned workspace, so the
+// steady-state warm solve — the access pattern of the Benders slave, the
+// admission shards and the branch-and-bound node loop — allocates nothing.
+// See DESIGN.md §7 for the factorization design and determinism argument.
 package lp

@@ -1,0 +1,533 @@
+// factor.go holds the basis factorization engines behind the revised
+// simplex. A factorEngine owns a factorized representation of the current
+// basis matrix B (the columns listed in Basis.cols) and answers the two
+// linear systems every simplex iteration is made of:
+//
+//	ftran:  u = B⁻¹·v   (entering column transformed into the basis frame)
+//	btran:  y = B⁻ᵀ·c   (duals / pivot rows read out of the basis frame)
+//
+// Two implementations exist. sparseLU is the production engine: an LU
+// factorization P·B·Q = L·U with a Markowitz-style static column ordering
+// (sparsest basis column eliminated first) and threshold-free partial
+// pivoting by magnitude, stored as compressed sparse columns, with
+// product-form eta updates appended to a bounded eta file between
+// refactorizations. denseFactor is the explicit-inverse engine the package
+// shipped before the LU rewrite, kept as the numerical cross-check oracle:
+// the dense-vs-sparse property tests drive both engines over the same solve
+// sequences and require identical statuses and matching solutions. All
+// engine storage lives in the Basis workspace and is reused across solves —
+// the steady-state warm path performs no allocations.
+//
+// Both engines are strictly deterministic: pivot choices break ties by the
+// smallest index, orderings are stable, and no map iteration or randomness
+// is involved, so a replayed solve takes the identical pivot path.
+package lp
+
+import "math"
+
+// factorEngine is a factorized basis. refactor rebuilds the factorization
+// from r.bs.cols (false means B is singular); ftran/btran solve against it
+// including any accumulated product-form updates; update applies the pivot
+// that replaces the basic column at position leave with the column whose
+// transformed form is u = B⁻¹·A_enter, returning true when the caller must
+// refactorize (bounded eta file full, or roundoff budget exhausted).
+//
+// Vector index conventions: "row-indexed" vectors live in the caller's
+// constraint-row space; "position-indexed" vectors are aligned with
+// Basis.cols. ftran maps row space to position space, btran the reverse.
+// Neither call may modify its input slice.
+type factorEngine interface {
+	refactor(r *revised) bool
+	ftran(rowIn, posOut []float64)
+	btran(posIn, rowOut []float64)
+	update(leave int, u []float64) bool
+}
+
+// How many product-form updates an engine accumulates before a full
+// refactorization clears the compounded roundoff.
+const refactorEvery = 64
+
+// etaNNZPerRow bounds the eta file by total stored nonzeros: once the file
+// holds more than etaNNZPerRow·m entries the ftran/btran passes over it cost
+// more than a refactorization would save, so update signals a rebuild even
+// before refactorEvery pivots have accumulated.
+const etaNNZPerRow = 8
+
+// singularPivotTol is the smallest pivot magnitude a factorization accepts;
+// below it the basis is declared singular and the warm path falls back to a
+// cold solve (matching the pre-LU dense engine's threshold).
+const singularPivotTol = 1e-10
+
+// debugDenseFactor routes new factorizations to the dense explicit-inverse
+// engine. It exists only so tests can cross-validate the sparse LU engine
+// against the dense one over identical solve sequences; production code
+// must never set it. Engines already built keep working when the flag
+// flips — it is consulted only at refactorization time on a fresh Basis.
+var debugDenseFactor = false
+
+// DebugForceDenseFactor selects the dense reference factorization engine
+// for subsequently factorized bases. Test-only cross-validation hook; it is
+// process-global and not safe to toggle concurrently with solves.
+func DebugForceDenseFactor(on bool) { debugDenseFactor = on }
+
+// sparseLU is the sparse basis factorization P·B·Q = L·U plus a bounded
+// product-form eta file. L is unit lower triangular and U upper triangular,
+// both stored column-compressed in elimination-step space; prow/qcol map
+// steps back to constraint rows and basis positions.
+type sparseLU struct {
+	m int
+
+	// L: strictly-below-diagonal entries per elimination column (the unit
+	// diagonal is implicit). Indices are elimination steps after refactor.
+	lPtr []int32
+	lIdx []int32
+	lVal []float64
+	// U: strictly-above-diagonal entries per elimination column, plus the
+	// diagonal held separately.
+	uPtr  []int32
+	uIdx  []int32
+	uVal  []float64
+	uDiag []float64
+
+	prow []int32 // elimination step -> constraint row (P)
+	pinv []int32 // constraint row -> elimination step (P⁻¹)
+	qcol []int32 // elimination step -> basis position (Q)
+
+	// Bounded eta file: one product-form update per pivot since the last
+	// refactorization. Eta e replaces the basic column at position
+	// etaPos[e]; etaPiv[e] is 1/u_pivot and etaIdx/etaVal hold the other
+	// nonzeros of u (position-indexed), sliced by etaPtr.
+	etaPos []int32
+	etaPiv []float64
+	etaPtr []int32
+	etaIdx []int32
+	etaVal []float64
+
+	// Scratch reused across refactorizations and solves.
+	work   []float64 // row-space scatter / step-space solve vector
+	step   []float64 // second solve vector for btran
+	mark   []int32   // scatter stamps (row space)
+	stamp  int32
+	nzRows []int32 // nonzero rows of the column under elimination
+	order  []int32 // column elimination order
+	cnt    []int32 // counting-sort scratch
+}
+
+func (f *sparseLU) reset(m int) {
+	f.m = m
+	f.lPtr = growI32(f.lPtr, m+1)
+	f.uPtr = growI32(f.uPtr, m+1)
+	f.uDiag = growF64(f.uDiag, m)
+	f.prow = growI32(f.prow, m)
+	f.pinv = growI32(f.pinv, m)
+	f.qcol = growI32(f.qcol, m)
+	f.work = growF64(f.work, m)
+	f.step = growF64(f.step, m)
+	f.mark = growI32(f.mark, m)
+	f.nzRows = growI32(f.nzRows, m)
+	f.order = growI32(f.order, m)
+	f.cnt = growI32(f.cnt, m+2)
+	f.lIdx = f.lIdx[:0]
+	f.lVal = f.lVal[:0]
+	f.uIdx = f.uIdx[:0]
+	f.uVal = f.uVal[:0]
+	f.clearEtas()
+}
+
+func (f *sparseLU) clearEtas() {
+	f.etaPos = f.etaPos[:0]
+	f.etaPiv = f.etaPiv[:0]
+	f.etaIdx = f.etaIdx[:0]
+	f.etaVal = f.etaVal[:0]
+	f.etaPtr = append(f.etaPtr[:0], 0)
+}
+
+// refactor builds the factorization from the basic column set by
+// left-looking elimination. The column elimination order is chosen up front
+// by ascending column nonzero count (a static Markowitz-style minimum-degree
+// heuristic: sparse columns first keeps fill-in local), ties broken by basis
+// position; within a column the pivot row is the remaining entry of largest
+// magnitude, ties broken by smallest row index. Returns false on a singular
+// basis.
+func (f *sparseLU) refactor(r *revised) bool {
+	m := r.m
+	f.reset(m)
+	if m == 0 {
+		return true
+	}
+
+	// Counting sort of basis positions by column nonzero count.
+	cnt := f.cnt[: m+2 : m+2]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for k := 0; k < m; k++ {
+		n := r.colNNZ(r.bs.cols[k])
+		if n > m {
+			n = m
+		}
+		cnt[n+1]++
+	}
+	for i := 1; i < len(cnt); i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for k := 0; k < m; k++ {
+		n := r.colNNZ(r.bs.cols[k])
+		if n > m {
+			n = m
+		}
+		f.order[cnt[n]] = int32(k)
+		cnt[n]++
+	}
+
+	for i := 0; i < m; i++ {
+		f.pinv[i] = -1
+		f.work[i] = 0
+		f.mark[i] = 0
+	}
+	f.stamp = 0
+
+	for step := 0; step < m; step++ {
+		pos := f.order[step]
+		col := r.bs.cols[pos]
+		if col < 0 || col >= r.width {
+			return false
+		}
+
+		// Scatter B's column for this basis position into row space.
+		f.stamp++
+		nz := f.nzRows[:0]
+		w := f.work
+		if col < r.n {
+			ws := r.ws
+			for t := ws.colPtr[col]; t < ws.colPtr[col+1]; t++ {
+				row := ws.colRow[t]
+				if f.mark[row] != f.stamp {
+					f.mark[row] = f.stamp
+					w[row] = 0
+					nz = append(nz, row)
+				}
+				w[row] += ws.colVal[t]
+			}
+		} else {
+			row := int32(col - r.n)
+			f.mark[row] = f.stamp
+			w[row] = r.sigma[row]
+			nz = append(nz, row)
+		}
+
+		// Left-looking elimination: apply the already-built columns of L in
+		// step order. L entries still carry constraint-row indices here (the
+		// step-space remap happens once the permutation is complete).
+		//
+		// The flat s-scan costs O(m²/2) stamp probes per refactorization
+		// regardless of fill — a deliberate simplicity trade at this
+		// repo's basis sizes (m ≲ a few hundred: tens of microseconds per
+		// refactor, amortized over refactorEvery pivots). If instances
+		// grow another order of magnitude, replace it with a DFS reach-set
+		// over the L pattern (Gilbert–Peierls / CSparse lu) to make each
+		// column cost proportional to its actual fill.
+		for s := 0; s < step; s++ {
+			pr := f.prow[s]
+			if f.mark[pr] != f.stamp {
+				continue
+			}
+			v := w[pr]
+			if v == 0 {
+				continue
+			}
+			f.uIdx = append(f.uIdx, int32(s))
+			f.uVal = append(f.uVal, v)
+			for t := f.lPtr[s]; t < f.lPtr[s+1]; t++ {
+				row := f.lIdx[t]
+				if f.mark[row] != f.stamp {
+					f.mark[row] = f.stamp
+					w[row] = 0
+					nz = append(nz, row)
+				}
+				w[row] -= f.lVal[t] * v
+			}
+		}
+
+		// Pivot: largest-magnitude entry among rows not yet pivoted.
+		piv := int32(-1)
+		pivAbs := singularPivotTol
+		for _, row := range nz {
+			if f.pinv[row] >= 0 {
+				continue
+			}
+			if a := math.Abs(w[row]); a > pivAbs || (a == pivAbs && piv >= 0 && row < piv) {
+				piv, pivAbs = row, a
+			}
+		}
+		if piv < 0 {
+			return false
+		}
+		d := w[piv]
+		f.prow[step] = piv
+		f.pinv[piv] = int32(step)
+		f.qcol[step] = pos
+		f.uDiag[step] = d
+
+		inv := 1 / d
+		for _, row := range nz {
+			if f.pinv[row] >= 0 || row == piv {
+				continue
+			}
+			if v := w[row]; v != 0 {
+				f.lIdx = append(f.lIdx, row)
+				f.lVal = append(f.lVal, v*inv)
+			}
+		}
+		f.lPtr[step+1] = int32(len(f.lIdx))
+		f.uPtr[step+1] = int32(len(f.uIdx))
+	}
+	f.lPtr[0] = 0
+	f.uPtr[0] = 0
+
+	// Remap L's row indices into elimination-step space so the solves run
+	// without permutation lookups.
+	for t := range f.lIdx {
+		f.lIdx[t] = f.pinv[f.lIdx[t]]
+	}
+	f.clearEtas()
+	return true
+}
+
+// ftran computes posOut = B⁻¹·rowIn: permute, solve L then U, permute back,
+// then replay the eta file in pivot order.
+func (f *sparseLU) ftran(rowIn, posOut []float64) {
+	m := f.m
+	x := f.work[:m]
+	for k := 0; k < m; k++ {
+		x[k] = rowIn[f.prow[k]]
+	}
+	// Unit lower triangular forward solve.
+	for k := 0; k < m; k++ {
+		xk := x[k]
+		if xk == 0 {
+			continue
+		}
+		for t := f.lPtr[k]; t < f.lPtr[k+1]; t++ {
+			x[f.lIdx[t]] -= f.lVal[t] * xk
+		}
+	}
+	// Upper triangular backward solve.
+	for k := m - 1; k >= 0; k-- {
+		v := x[k] / f.uDiag[k]
+		x[k] = v
+		if v == 0 {
+			continue
+		}
+		for t := f.uPtr[k]; t < f.uPtr[k+1]; t++ {
+			x[f.uIdx[t]] -= f.uVal[t] * v
+		}
+	}
+	for k := 0; k < m; k++ {
+		posOut[f.qcol[k]] = x[k]
+	}
+	// Eta file, oldest first: B_t⁻¹ = E_t⁻¹···E₁⁻¹·B₀⁻¹.
+	for e := 0; e < len(f.etaPos); e++ {
+		r := f.etaPos[e]
+		t := posOut[r] * f.etaPiv[e]
+		if t != 0 {
+			for q := f.etaPtr[e]; q < f.etaPtr[e+1]; q++ {
+				posOut[f.etaIdx[q]] -= f.etaVal[q] * t
+			}
+		}
+		posOut[r] = t
+	}
+}
+
+// btran computes rowOut = B⁻ᵀ·posIn: replay the eta file transposed in
+// reverse order, permute, solve Uᵀ then Lᵀ, permute back.
+func (f *sparseLU) btran(posIn, rowOut []float64) {
+	m := f.m
+	w := f.step[:m]
+	copy(w, posIn[:m])
+	for e := len(f.etaPos) - 1; e >= 0; e-- {
+		r := f.etaPos[e]
+		acc := w[r]
+		for q := f.etaPtr[e]; q < f.etaPtr[e+1]; q++ {
+			acc -= f.etaVal[q] * w[f.etaIdx[q]]
+		}
+		w[r] = acc * f.etaPiv[e]
+	}
+	x := f.work[:m]
+	for k := 0; k < m; k++ {
+		x[k] = w[f.qcol[k]]
+	}
+	// Uᵀ is lower triangular: forward solve.
+	for k := 0; k < m; k++ {
+		acc := x[k]
+		for t := f.uPtr[k]; t < f.uPtr[k+1]; t++ {
+			acc -= f.uVal[t] * x[f.uIdx[t]]
+		}
+		x[k] = acc / f.uDiag[k]
+	}
+	// Lᵀ is upper triangular with unit diagonal: backward solve.
+	for k := m - 1; k >= 0; k-- {
+		acc := x[k]
+		for t := f.lPtr[k]; t < f.lPtr[k+1]; t++ {
+			acc -= f.lVal[t] * x[f.lIdx[t]]
+		}
+		x[k] = acc
+	}
+	for k := 0; k < m; k++ {
+		rowOut[f.prow[k]] = x[k]
+	}
+}
+
+// update appends the pivot's product-form eta. Returns true once the eta
+// file hits its bound — count or stored nonzeros — so the caller
+// refactorizes before roundoff or replay cost accumulates further.
+func (f *sparseLU) update(leave int, u []float64) bool {
+	f.etaPos = append(f.etaPos, int32(leave))
+	f.etaPiv = append(f.etaPiv, 1/u[leave])
+	for i, v := range u[:f.m] {
+		if v != 0 && i != leave {
+			f.etaIdx = append(f.etaIdx, int32(i))
+			f.etaVal = append(f.etaVal, v)
+		}
+	}
+	f.etaPtr = append(f.etaPtr, int32(len(f.etaIdx)))
+	return len(f.etaPos) >= refactorEvery || len(f.etaIdx) > etaNNZPerRow*f.m+refactorEvery
+}
+
+// denseFactor is the explicit dense inverse B⁻¹ maintained by Gauss–Jordan
+// refactorization and in-place product-form row updates — the engine the
+// package used before the sparse LU rewrite, retained as the cross-check
+// oracle for the dense-vs-sparse property tests and flattened from
+// [][]float64 to one contiguous row-major slice. binv[k*m+i] is row k
+// (basis position) column i (constraint row) of B⁻¹.
+type denseFactor struct {
+	m       int
+	binv    []float64
+	aug     []float64 // refactorization scratch: m rows × 2m columns
+	updates int
+}
+
+func (f *denseFactor) refactor(r *revised) bool {
+	m := r.m
+	f.m = m
+	f.updates = 0
+	f.binv = growF64(f.binv, m*m)
+	f.aug = growF64(f.aug, 2*m*m)
+	aug := f.aug[: 2*m*m : 2*m*m]
+	for i := range aug {
+		aug[i] = 0
+	}
+	w2 := 2 * m
+	for i := 0; i < m; i++ {
+		aug[i*w2+m+i] = 1
+	}
+	for k, c := range r.bs.cols {
+		if c < 0 || c >= r.width {
+			return false
+		}
+		if c < r.n {
+			ws := r.ws
+			for t := ws.colPtr[c]; t < ws.colPtr[c+1]; t++ {
+				aug[int(ws.colRow[t])*w2+k] += ws.colVal[t]
+			}
+		} else {
+			aug[(c-r.n)*w2+k] += r.sigma[c-r.n]
+		}
+	}
+	for k := 0; k < m; k++ {
+		piv, pivAbs := -1, singularPivotTol
+		for i := k; i < m; i++ {
+			if a := math.Abs(aug[i*w2+k]); a > pivAbs {
+				piv, pivAbs = i, a
+			}
+		}
+		if piv < 0 {
+			return false
+		}
+		if piv != k {
+			rk, rp := aug[k*w2:(k+1)*w2], aug[piv*w2:(piv+1)*w2]
+			for j := k; j < w2; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		rk := aug[k*w2 : (k+1)*w2]
+		inv := 1 / rk[k]
+		for j := k; j < w2; j++ {
+			rk[j] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == k {
+				continue
+			}
+			ri := aug[i*w2 : (i+1)*w2]
+			fct := ri[k]
+			if fct == 0 {
+				continue
+			}
+			for j := k; j < w2; j++ {
+				ri[j] -= fct * rk[j]
+			}
+		}
+	}
+	for k := 0; k < m; k++ {
+		copy(f.binv[k*m:(k+1)*m], aug[k*w2+m:k*w2+2*m])
+	}
+	return true
+}
+
+func (f *denseFactor) ftran(rowIn, posOut []float64) {
+	m := f.m
+	for k := 0; k < m; k++ {
+		posOut[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		v := rowIn[i]
+		if v == 0 {
+			continue
+		}
+		for k := 0; k < m; k++ {
+			posOut[k] += v * f.binv[k*m+i]
+		}
+	}
+}
+
+func (f *denseFactor) btran(posIn, rowOut []float64) {
+	m := f.m
+	for i := 0; i < m; i++ {
+		rowOut[i] = 0
+	}
+	for k := 0; k < m; k++ {
+		v := posIn[k]
+		if v == 0 {
+			continue
+		}
+		row := f.binv[k*m : (k+1)*m]
+		for i := 0; i < m; i++ {
+			rowOut[i] += v * row[i]
+		}
+	}
+}
+
+func (f *denseFactor) update(leave int, u []float64) bool {
+	m := f.m
+	inv := 1 / u[leave]
+	rowL := f.binv[leave*m : (leave+1)*m]
+	for k := range rowL {
+		rowL[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		fct := u[i]
+		if fct == 0 {
+			continue
+		}
+		ri := f.binv[i*m : (i+1)*m]
+		for k := range ri {
+			ri[k] -= fct * rowL[k]
+		}
+	}
+	f.updates++
+	return f.updates >= refactorEvery
+}

@@ -77,6 +77,11 @@ type Problem struct {
 	cost  []float64
 	names []string
 	rows  []row
+	// rev counts structural mutations (AddVar, AddConstraint). SetRHS and
+	// SetCost deliberately do not advance it: a Basis workspace caches the
+	// problem's sparse matrix keyed on (pointer, rev), and RHS/cost rewrites
+	// — the warm-start access pattern — must keep that cache valid.
+	rev int
 }
 
 // New returns an empty minimization problem.
@@ -87,6 +92,7 @@ func New() *Problem { return &Problem{} }
 func (p *Problem) AddVar(name string, cost float64) int {
 	p.cost = append(p.cost, cost)
 	p.names = append(p.names, name)
+	p.rev++
 	return len(p.cost) - 1
 }
 
@@ -116,6 +122,7 @@ func (p *Problem) AddNamedConstraint(name string, sense Sense, rhs float64, term
 	cp := make([]Term, len(terms))
 	copy(cp, terms)
 	p.rows = append(p.rows, row{terms: cp, sense: sense, rhs: rhs, name: name})
+	p.rev++
 	return len(p.rows) - 1
 }
 
@@ -197,7 +204,17 @@ func (p *Problem) Solve() (*Solution, error) { return p.solveCold(nil) }
 // basis is captured into it so a later SolveFrom can warm-start; outcomes
 // without a usable basis (iteration limit, unboundedness) reset it.
 func (p *Problem) solveCold(cap *Basis) (*Solution, error) {
-	t := newTableau(p)
+	// When a Basis is being (re)captured, its workspace donates the
+	// tableau's dense buffers, so warm-path fallbacks and re-captures do
+	// not re-pay the tableau allocation on every cold solve.
+	var ws *workspace
+	if cap != nil {
+		if cap.ws == nil {
+			cap.ws = &workspace{}
+		}
+		ws = cap.ws
+	}
+	t := newTableau(p, ws)
 	sol := &Solution{}
 
 	// Phase 1: drive the artificial variables to zero.
@@ -264,40 +281,68 @@ func (p *Problem) solveCold(cap *Basis) (*Solution, error) {
 // *virtual* artificial: basis[i] = width+i. Virtual columns are never
 // stored or updated — they can never re-enter — which keeps the tableau
 // narrow; phase 1 only has work to do on rows that actually start virtual.
+//
+// The matrix is one contiguous row-major slice with stride width+1 (the
+// last column is the rhs): flat storage keeps the O(m·width) pivot loops on
+// sequential memory, and lets a Basis workspace donate the buffers so cold
+// fallbacks inside a warm-start chain do not reallocate the tableau.
 type tableau struct {
 	p *Problem
 
 	m, n  int // rows, structural columns
 	width int // total stored columns excluding rhs: n + m
+	w1    int // row stride: width + 1
 
-	a     [][]float64 // m rows, width+1 columns (last is rhs)
-	obj   []float64   // reduced-cost row, width+1 (last is -objective value)
-	cost  []float64   // cost vector over stored columns (phase-dependent)
-	basis []int       // basis[i] = column basic in row i; width+r = virtual artificial of row r
+	a     []float64 // m rows × w1 columns, row-major; a[i*w1+width] is rhs
+	obj   []float64 // reduced-cost row, width+1 (last is -objective value)
+	cost  []float64 // cost vector over stored columns (phase-dependent)
+	basis []int     // basis[i] = column basic in row i; width+r = virtual artificial of row r
 
 	markerSign []float64 // ±1 coefficient of each row's marker column
 	eqMarker   []bool    // true: marker is pinned (EQ row), never enters
 	flip       []float64
 	nVirtual   int // rows starting from a virtual artificial
 
+	cb []float64 // recomputeObjRow scratch
+
 	pivots   int
 	inPhase1 bool
 }
 
-func newTableau(p *Problem) *tableau {
+// row returns row i of the matrix including its rhs entry.
+func (t *tableau) row(i int) []float64 { return t.a[i*t.w1 : (i+1)*t.w1 : (i+1)*t.w1] }
+
+func newTableau(p *Problem, ws *workspace) *tableau {
 	m := len(p.rows)
 	n := len(p.cost)
 
-	t := &tableau{p: p, m: m, n: n, width: n + m}
-	t.markerSign = make([]float64, m)
-	t.eqMarker = make([]bool, m)
-	t.flip = make([]float64, m)
-	t.basis = make([]int, m)
-	t.cost = make([]float64, t.width)
+	t := &tableau{p: p, m: m, n: n, width: n + m, w1: n + m + 1}
+	if ws != nil {
+		ws.tabSign = growF64(ws.tabSign, m)
+		ws.tabEq = growBool(ws.tabEq, m)
+		ws.tabFlip = growF64(ws.tabFlip, m)
+		ws.tabBasis = growInt(ws.tabBasis, m)
+		ws.tabCost = growF64(ws.tabCost, t.width)
+		ws.tabA = growF64(ws.tabA, m*t.w1)
+		ws.tabObj = growF64(ws.tabObj, t.w1)
+		ws.tabCB = growF64(ws.tabCB, m)
+		t.markerSign, t.eqMarker, t.flip = ws.tabSign, ws.tabEq, ws.tabFlip
+		t.basis, t.cost = ws.tabBasis, ws.tabCost
+		t.a, t.obj, t.cb = ws.tabA, ws.tabObj, ws.tabCB
+	} else {
+		t.markerSign = make([]float64, m)
+		t.eqMarker = make([]bool, m)
+		t.flip = make([]float64, m)
+		t.basis = make([]int, m)
+		t.cost = make([]float64, t.width)
+		t.a = make([]float64, m*t.w1)
+		t.obj = make([]float64, t.w1)
+		t.cb = make([]float64, m)
+	}
 
-	t.a = make([][]float64, m)
-	for i, r := range p.rows {
-		t.a[i] = make([]float64, t.width+1)
+	for i := range p.rows {
+		r := &p.rows[i]
+		ri := t.row(i)
 		// Normalize so rhs ≥ 0; remember the sign flip to restore the
 		// caller's row orientation in duals and rays.
 		f := 1.0
@@ -306,9 +351,9 @@ func newTableau(p *Problem) *tableau {
 		}
 		t.flip[i] = f
 		for _, tm := range r.terms {
-			t.a[i][tm.Var] += f * tm.Coef
+			ri[tm.Var] += f * tm.Coef
 		}
-		t.a[i][t.width] = f * r.rhs
+		ri[t.width] = f * r.rhs
 
 		marker := n + i
 		switch r.sense {
@@ -320,7 +365,7 @@ func newTableau(p *Problem) *tableau {
 			t.markerSign[i] = 1
 			t.eqMarker[i] = true
 		}
-		t.a[i][marker] = t.markerSign[i]
+		ri[marker] = t.markerSign[i]
 
 		// Initial basis: the marker when it forms a feasible identity
 		// column (+1 with non-negative rhs), a virtual artificial else.
@@ -335,13 +380,13 @@ func newTableau(p *Problem) *tableau {
 
 	// Phase-1 reduced costs: cost 1 on virtual artificials only, so
 	// obj[j] = −Σ_{i virtual} a[i][j].
-	t.obj = make([]float64, t.width+1)
 	for i := 0; i < m; i++ {
 		if t.basis[i] < t.width {
 			continue
 		}
+		ri := t.row(i)
 		for j := 0; j <= t.width; j++ {
-			t.obj[j] -= t.a[i][j]
+			t.obj[j] -= ri[j]
 		}
 	}
 	return t
@@ -424,11 +469,11 @@ func (t *tableau) chooseLeaving(enter int) int {
 	leave := -1
 	bestRatio := math.Inf(1)
 	for i := 0; i < t.m; i++ {
-		aij := t.a[i][enter]
+		aij := t.a[i*t.w1+enter]
 		if aij <= pivotTol {
 			continue
 		}
-		ratio := t.a[i][t.width] / aij
+		ratio := t.a[i*t.w1+t.width] / aij
 		if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (leave < 0 || t.basis[i] < t.basis[leave])) {
 			bestRatio = ratio
 			leave = i
@@ -440,9 +485,8 @@ func (t *tableau) chooseLeaving(enter int) int {
 // pivot makes column enter basic in row leave.
 func (t *tableau) pivot(leave, enter int) {
 	t.pivots++
-	piv := t.a[leave][enter]
-	inv := 1 / piv
-	rowL := t.a[leave]
+	rowL := t.row(leave)
+	inv := 1 / rowL[enter]
 	for j := 0; j <= t.width; j++ {
 		rowL[j] *= inv
 	}
@@ -450,11 +494,11 @@ func (t *tableau) pivot(leave, enter int) {
 		if i == leave {
 			continue
 		}
-		f := t.a[i][enter]
+		ri := t.row(i)
+		f := ri[enter]
 		if f == 0 {
 			continue
 		}
-		ri := t.a[i]
 		for j := 0; j <= t.width; j++ {
 			ri[j] -= f * rowL[j]
 		}
@@ -482,7 +526,7 @@ func (t *tableau) pivotOutArtificials() {
 			if j >= t.n && t.eqMarker[j-t.n] {
 				continue
 			}
-			if math.Abs(t.a[i][j]) > 1e-7 {
+			if math.Abs(t.a[i*t.w1+j]) > 1e-7 {
 				t.pivot(i, j)
 				break
 			}
@@ -501,24 +545,26 @@ func (t *tableau) loadPhase2Costs() {
 }
 
 // recomputeObjRow rebuilds the reduced-cost row exactly from the current
-// phase costs and tableau, clearing accumulated pivot roundoff.
+// phase costs and tableau, clearing accumulated pivot roundoff. Row-major
+// accumulation keeps the pass sequential over the flat matrix.
 func (t *tableau) recomputeObjRow() {
-	cb := make([]float64, t.m)
+	cb := t.cb[:t.m]
 	for i := 0; i < t.m; i++ {
 		cb[i] = t.costOf(t.basis[i])
 	}
-	for j := 0; j <= t.width; j++ {
-		s := 0.0
-		for i := 0; i < t.m; i++ {
-			if cb[i] != 0 {
-				s += cb[i] * t.a[i][j]
-			}
+	for j := 0; j < t.width; j++ {
+		t.obj[j] = t.cost[j]
+	}
+	t.obj[t.width] = 0
+	for i := 0; i < t.m; i++ {
+		c := cb[i]
+		if c == 0 {
+			continue
 		}
-		c := 0.0
-		if j < t.width {
-			c = t.cost[j]
+		ri := t.row(i)
+		for j := 0; j <= t.width; j++ {
+			t.obj[j] -= c * ri[j]
 		}
-		t.obj[j] = c - s
 	}
 	for i := 0; i < t.m; i++ {
 		if t.basis[i] < t.width {
@@ -532,7 +578,7 @@ func (t *tableau) primal() []float64 {
 	x := make([]float64, t.n)
 	for i, b := range t.basis {
 		if b < t.n {
-			x[b] = t.a[i][t.width]
+			x[b] = t.a[i*t.w1+t.width]
 		}
 	}
 	return x

@@ -1,12 +1,13 @@
 // revised.go implements the warm-start half of the solver: a revised
-// simplex over an explicit Basis (basic column set plus a maintained dense
-// inverse B⁻¹ updated by product-form eta pivots). Where the tableau in
-// lp.go rebuilds everything from a cold start, SolveFrom re-enters from a
-// previous optimal basis:
+// simplex over an explicit Basis (basic column set plus a factorized basis
+// matrix — sparse LU with a bounded eta file, see factor.go). Where the
+// tableau in lp.go rebuilds everything from a cold start, SolveFrom
+// re-enters from a previous optimal basis:
 //
 //   - right-hand-side changes (the Benders slave rewrites only RHS per
-//     iteration) leave the basis dual feasible, so a handful of dual
-//     simplex pivots restore optimality;
+//     iteration; the milp branch-and-bound rewrites only binary bound rows
+//     per node) leave the basis dual feasible, so a handful of dual simplex
+//     pivots restore optimality;
 //   - cost changes leave it primal feasible, so the primal revised simplex
 //     re-optimizes directly;
 //   - anything the warm path cannot certify — stale shape, a singular
@@ -19,22 +20,33 @@
 // pinned pseudo-slack for = rows that may sit in the basis of a redundant
 // row at level zero but never enters a pivot). Unlike the tableau, rows are
 // kept in the caller's orientation — no sign flips — so duals and Farkas
-// rays read off B⁻¹ directly.
+// rays read off the factorization directly.
+//
+// Pricing: the dual simplex selects its leaving row by dual Devex weights
+// (approximate steepest edge, updated for free from vectors the pivot
+// already computes); the primal simplex prices entering columns by Devex
+// reference weights. Both cut pivot counts on the larger instances without
+// changing any correctness property, and both retain the Bland anti-cycling
+// fallback after a degenerate-pivot budget. All scratch lives in the
+// Basis-owned workspace (workspace.go): the steady-state warm solve —
+// factorization reused, zero or few pivots — allocates nothing.
 package lp
 
 import "math"
 
 // Basis is resumable solver state: the basic column set of a previous
-// solve over the same problem shape, plus the maintained inverse. The zero
-// value is an empty basis; SolveFrom on one cold-starts and captures. A
-// Basis belongs to one Problem structure (same variable and row counts,
-// same senses) whose RHS and costs may change between solves; it is not
-// safe for concurrent use.
+// solve over the same problem shape, plus the factorized basis matrix and
+// the reusable solver workspace. The zero value is an empty basis;
+// SolveFrom on one cold-starts and captures. A Basis belongs to one Problem
+// structure (same variable and row counts, same senses) whose RHS and costs
+// may change between solves; it is not safe for concurrent use.
 type Basis struct {
-	m, n int         // shape (rows, structural variables) the basis was taken on
-	cols []int       // basic column per row position: j < n structural, n+r marker
-	binv [][]float64 // dense B⁻¹, maintained by eta updates; nil ⇒ refactorize
-	etas int         // eta updates since the last full refactorization
+	m, n int   // shape (rows, structural variables) the basis was taken on
+	cols []int // basic column per row position: j < n structural, n+r marker
+	// eng is the factorized basis matrix; nil ⇒ factorize on next use. It
+	// points into ws-owned storage (ws.lu or ws.dense).
+	eng factorEngine
+	ws  *workspace
 }
 
 // Warm reports whether the basis holds resumable state matching p's shape.
@@ -42,9 +54,12 @@ func (b *Basis) Warm(p *Problem) bool {
 	return b != nil && b.m == len(p.rows) && b.n == len(p.cost) && len(b.cols) == b.m
 }
 
-// Reset discards all state so the next SolveFrom cold-starts.
+// Reset discards all solver state so the next SolveFrom cold-starts. The
+// workspace (allocated scratch) is deliberately kept: resetting is part of
+// distress recovery, and the re-solve should not re-pay allocation.
 func (b *Basis) Reset() {
-	b.m, b.n, b.cols, b.binv, b.etas = 0, 0, nil, nil, 0
+	b.m, b.n, b.eng = 0, 0, nil
+	b.cols = b.cols[:0]
 }
 
 // capture stores the final basis of a cold tableau solve. Rows that ended
@@ -53,22 +68,26 @@ func (b *Basis) Reset() {
 // singular and the next warm attempt will detect it and fall back.
 func (b *Basis) capture(t *tableau) {
 	b.m, b.n = t.m, t.n
-	b.cols = make([]int, t.m)
+	b.cols = growInt(b.cols, t.m)
 	for i, c := range t.basis {
 		if c >= t.width {
 			c = t.n + i
 		}
 		b.cols[i] = c
 	}
-	b.binv = nil
-	b.etas = 0
+	b.eng = nil
 }
 
 // SolveFrom solves the problem starting from a previous basis, updating
 // basis in place so the next call re-enters from this solve's endpoint.
-// A nil basis is identical to Solve. Results are exactly those Solve would
-// produce (same statuses, duals oriented the same way, Farkas rays valid
-// for the same certificate check); only the pivot path differs.
+// A nil basis is identical to Solve. Results are equivalent to those Solve
+// would produce (same statuses, duals oriented the same way, Farkas rays
+// valid for the same certificate check); only the pivot path differs.
+//
+// Ownership: on the warm path the returned Solution and its X/Dual/Ray
+// slices are views into basis-owned buffers, valid until the next SolveFrom
+// on the same basis. Callers that keep values across solves must copy them
+// (every caller in this repository does).
 func (p *Problem) SolveFrom(basis *Basis) (*Solution, error) {
 	if basis == nil {
 		return p.Solve()
@@ -80,10 +99,6 @@ func (p *Problem) SolveFrom(basis *Basis) (*Solution, error) {
 	}
 	return p.solveCold(basis)
 }
-
-// How many eta updates B⁻¹ accumulates before a full refactorization
-// clears the compounded roundoff.
-const refactorEvery = 64
 
 // Reduced-cost slack accepted when testing whether a stale basis is still
 // dual feasible; looser than costTol so harmless drift from the previous
@@ -100,73 +115,31 @@ const (
 	warmBail // numerical trouble or budget exhausted: fall back to cold
 )
 
-// centry is one nonzero of a structural column.
-type centry struct {
-	row  int
-	coef float64
-}
-
-// revised is the per-solve working state of the warm-start engine. It
-// mutates the Basis it was built from in place, so the caller's handle
-// tracks every pivot.
+// revised is the per-solve working state of the warm-start engine, a view
+// assembled by workspace.prepare. It mutates the Basis it was built from in
+// place, so the caller's handle tracks every pivot.
 type revised struct {
 	p     *Problem
 	m, n  int
 	width int
 
-	cola   [][]centry // column-sparse structural A, caller row orientation
-	sigma  []float64  // marker coefficient per row: +1 for ≤ and =, −1 for ≥
-	pinned []bool     // = rows: marker may be basic at zero but never enters
+	ws     *workspace
+	sigma  []float64 // marker coefficient per row: +1 for ≤ and =, −1 for ≥
+	pinned []bool    // = rows: marker may be basic at zero but never enters
 	rhs    []float64
 
 	bs      *Basis
 	inBasis []bool
 	xB      []float64 // basic variable values, aligned with bs.cols
-	y       []float64 // duals c_Bᵀ·B⁻¹ for the current basis
-	ray     []float64 // Farkas certificate when dual simplex proves infeasible
+	y       []float64 // duals c_Bᵀ·B⁻¹, updated incrementally per pivot
 	pivots  int
-}
-
-func newRevised(p *Problem, bs *Basis) *revised {
-	m, n := len(p.rows), len(p.cost)
-	r := &revised{
-		p: p, m: m, n: n, width: n + m,
-		cola:   make([][]centry, n),
-		sigma:  make([]float64, m),
-		pinned: make([]bool, m),
-		rhs:    make([]float64, m),
-		bs:     bs,
-		xB:     make([]float64, m),
-		y:      make([]float64, m),
-	}
-	for i, row := range p.rows {
-		r.rhs[i] = row.rhs
-		switch row.sense {
-		case LE:
-			r.sigma[i] = 1
-		case GE:
-			r.sigma[i] = -1
-		case EQ:
-			r.sigma[i] = 1
-			r.pinned[i] = true
-		}
-		for _, tm := range row.terms {
-			r.cola[tm.Var] = append(r.cola[tm.Var], centry{row: i, coef: tm.Coef})
-		}
-	}
-	r.inBasis = make([]bool, r.width)
-	for _, c := range bs.cols {
-		if c >= 0 && c < r.width {
-			r.inBasis[c] = true
-		}
-	}
-	return r
+	ray     []float64 // Farkas certificate when dual simplex proves infeasible
 }
 
 // solveWarm attempts the revised-simplex warm path; ok == false means the
 // caller must fall back to a cold solve.
 func (p *Problem) solveWarm(bs *Basis) (*Solution, bool) {
-	r := newRevised(p, bs)
+	r := bs.prepare(p)
 	if !r.ensureFactorized() {
 		return nil, false
 	}
@@ -197,7 +170,9 @@ func (p *Problem) solveWarm(bs *Basis) (*Solution, bool) {
 		if !r.verifyRay() {
 			return nil, false
 		}
-		return &Solution{Status: Infeasible, Ray: r.ray, Pivots: r.pivots}, true
+		sol := &r.ws.sol
+		*sol = Solution{Status: Infeasible, Ray: r.ray, Pivots: r.pivots}
+		return sol, true
 	default:
 		// Unbounded is rare on the workloads that warm-start (bounded
 		// slave LPs); re-derive it from the cold path where the result is
@@ -218,36 +193,73 @@ func (r *revised) pinnedViolated() bool {
 	return false
 }
 
-// column applies one column of [A | markers] to a visitor.
-func (r *revised) column(j int, visit func(row int, coef float64)) {
-	if j < r.n {
-		for _, e := range r.cola[j] {
-			visit(e.row, e.coef)
-		}
-		return
+// colNNZ returns the nonzero count of column j of [A | markers].
+func (r *revised) colNNZ(j int) int {
+	if j < 0 || j >= r.width {
+		return 0
 	}
-	row := j - r.n
-	visit(row, r.sigma[row])
+	if j < r.n {
+		return int(r.ws.colPtr[j+1] - r.ws.colPtr[j])
+	}
+	return 1
 }
 
-// colDot returns vᵀ·A_j.
+// colDot returns vᵀ·A_j for a row-indexed v.
 func (r *revised) colDot(v []float64, j int) float64 {
+	if j >= r.n {
+		row := j - r.n
+		return v[row] * r.sigma[row]
+	}
+	ws := r.ws
 	s := 0.0
-	r.column(j, func(row int, coef float64) { s += v[row] * coef })
+	for t := ws.colPtr[j]; t < ws.colPtr[j+1]; t++ {
+		s += v[ws.colRow[t]] * ws.colVal[t]
+	}
 	return s
 }
 
-// ftran computes u = B⁻¹·A_j.
-func (r *revised) ftran(j int, u []float64) {
-	for i := range u {
-		u[i] = 0
+// scatterCol writes column j of [A | markers] into the row-space buffer
+// dst (assumed zero) and returns it; clearCol undoes the scatter.
+func (r *revised) scatterCol(j int, dst []float64) {
+	if j >= r.n {
+		row := j - r.n
+		dst[row] += r.sigma[row]
+		return
 	}
-	binv := r.bs.binv
-	r.column(j, func(row int, coef float64) {
-		for i := 0; i < r.m; i++ {
-			u[i] += coef * binv[i][row]
-		}
-	})
+	ws := r.ws
+	for t := ws.colPtr[j]; t < ws.colPtr[j+1]; t++ {
+		dst[ws.colRow[t]] += ws.colVal[t]
+	}
+}
+
+func (r *revised) clearCol(j int, dst []float64) {
+	if j >= r.n {
+		dst[j-r.n] = 0
+		return
+	}
+	ws := r.ws
+	for t := ws.colPtr[j]; t < ws.colPtr[j+1]; t++ {
+		dst[ws.colRow[t]] = 0
+	}
+}
+
+// ftran computes u = B⁻¹·A_j into the workspace u buffer.
+func (r *revised) ftran(j int) []float64 {
+	ws := r.ws
+	r.scatterCol(j, ws.scat)
+	r.bs.eng.ftran(ws.scat, ws.u)
+	r.clearCol(j, ws.scat)
+	return ws.u[:r.m]
+}
+
+// btranRow computes ρ = e_posᵀ·B⁻¹ (row `pos` of the basis inverse, in the
+// caller's row orientation) into the workspace rho buffer.
+func (r *revised) btranRow(pos int) []float64 {
+	ws := r.ws
+	ws.unit[pos] = 1
+	r.bs.eng.btran(ws.unit, ws.rho)
+	ws.unit[pos] = 0
+	return ws.rho[:r.m]
 }
 
 // costOfCol is the phase-2 cost of a column (markers cost nothing).
@@ -263,86 +275,53 @@ func (r *revised) reducedCost(j int) float64 {
 	return r.costOfCol(j) - r.colDot(r.y, j)
 }
 
-// ensureFactorized (re)builds B⁻¹ from the basic column set by
-// Gauss–Jordan with partial pivoting; false means B is singular.
+// ensureFactorized (re)builds the basis factorization from the basic column
+// set; false means B is singular. The engine is the sparse LU by default,
+// or the dense cross-check engine under DebugForceDenseFactor.
 func (r *revised) ensureFactorized() bool {
-	if r.bs.binv != nil {
+	if r.bs.eng != nil {
 		return true
 	}
-	m := r.m
-	// aug = [B | I], reduced in place to [I | B⁻¹].
-	aug := make([][]float64, m)
-	for i := range aug {
-		aug[i] = make([]float64, 2*m)
-		aug[i][m+i] = 1
+	var eng factorEngine
+	if debugDenseFactor {
+		eng = &r.ws.dense
+	} else {
+		eng = &r.ws.lu
 	}
-	for k, c := range r.bs.cols {
-		if c < 0 || c >= r.width {
-			return false
-		}
-		r.column(c, func(row int, coef float64) { aug[row][k] += coef })
+	if !eng.refactor(r) {
+		return false
 	}
-	for k := 0; k < m; k++ {
-		piv, pivAbs := -1, 1e-10
-		for i := k; i < m; i++ {
-			if a := math.Abs(aug[i][k]); a > pivAbs {
-				piv, pivAbs = i, a
-			}
-		}
-		if piv < 0 {
-			return false
-		}
-		aug[k], aug[piv] = aug[piv], aug[k]
-		inv := 1 / aug[k][k]
-		for j := k; j < 2*m; j++ {
-			aug[k][j] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == k || aug[i][k] == 0 {
-				continue
-			}
-			f := aug[i][k]
-			for j := k; j < 2*m; j++ {
-				aug[i][j] -= f * aug[k][j]
-			}
-		}
+	r.bs.eng = eng
+	return true
+}
+
+// refactorize rebuilds the factorization in place and refreshes the
+// incrementally maintained vectors; false means B went singular.
+func (r *revised) refactorize() bool {
+	r.bs.eng = nil
+	if !r.ensureFactorized() {
+		return false
 	}
-	binv := make([][]float64, m)
-	for i := range binv {
-		binv[i] = aug[i][m : 2*m : 2*m]
-	}
-	r.bs.binv = binv
-	r.bs.etas = 0
+	r.computeXB()
+	r.computeY()
 	return true
 }
 
 // computeXB refreshes x_B = B⁻¹·b.
 func (r *revised) computeXB() {
-	binv := r.bs.binv
-	for i := 0; i < r.m; i++ {
-		s := 0.0
-		for k := 0; k < r.m; k++ {
-			s += binv[i][k] * r.rhs[k]
-		}
-		r.xB[i] = s
-	}
+	r.bs.eng.ftran(r.rhs, r.xB)
 }
 
-// computeY refreshes y = c_Bᵀ·B⁻¹.
+// computeY refreshes y = c_Bᵀ·B⁻¹ exactly: scatter the basic costs into
+// position space and btran them through the factorization.
 func (r *revised) computeY() {
-	binv := r.bs.binv
-	for k := 0; k < r.m; k++ {
-		r.y[k] = 0
-	}
+	cb := r.ws.scat[:r.m] // borrow the scatter buffer for position space
 	for i, c := range r.bs.cols {
-		cb := r.costOfCol(c)
-		if cb == 0 {
-			continue
-		}
-		row := binv[i]
-		for k := 0; k < r.m; k++ {
-			r.y[k] += cb * row[k]
-		}
+		cb[i] = r.costOfCol(c)
+	}
+	r.bs.eng.btran(cb, r.y)
+	for i := range cb {
+		cb[i] = 0
 	}
 }
 
@@ -375,31 +354,20 @@ func (r *revised) budget() (maxPivots, blandAfter int) {
 }
 
 // pivotUpdate makes column enter basic in row leave, given u = B⁻¹·A_enter:
-// an eta update of B⁻¹ and x_B, with a periodic full refactorization to
-// flush accumulated roundoff. false means refactorization found B singular
+// x_B is updated incrementally, the factorization absorbs the pivot as a
+// bounded product-form eta, and a periodic full refactorization flushes
+// accumulated roundoff. false means refactorization found B singular
 // (caller bails to cold).
 func (r *revised) pivotUpdate(leave, enter int, u []float64) bool {
 	r.pivots++
-	binv := r.bs.binv
-	inv := 1 / u[leave]
-	rowL := binv[leave]
-	for k := 0; k < r.m; k++ {
-		rowL[k] *= inv
-	}
-	t := r.xB[leave] * inv
+	t := r.xB[leave] / u[leave]
 	for i := 0; i < r.m; i++ {
 		if i == leave {
 			continue
 		}
-		f := u[i]
-		if f == 0 {
-			continue
+		if f := u[i]; f != 0 {
+			r.xB[i] -= f * t
 		}
-		ri := binv[i]
-		for k := 0; k < r.m; k++ {
-			ri[k] -= f * rowL[k]
-		}
-		r.xB[i] -= f * t
 	}
 	r.xB[leave] = t
 
@@ -407,24 +375,24 @@ func (r *revised) pivotUpdate(leave, enter int, u []float64) bool {
 	r.inBasis[enter] = true
 	r.bs.cols[leave] = enter
 
-	r.bs.etas++
-	if r.bs.etas >= refactorEvery {
-		r.bs.binv = nil
-		if !r.ensureFactorized() {
-			return false
-		}
-		r.computeXB()
+	if r.bs.eng.update(leave, u) {
+		return r.refactorize()
 	}
 	return true
 }
 
 // dualSimplex restores primal feasibility from a dual-feasible basis after
-// a right-hand-side change: pick a row with negative x_B, pick the entering
-// column by the dual ratio test (preserving d ≥ 0), pivot, repeat. No
-// admissible entering column proves primal infeasibility, with the Farkas
-// certificate read off the violated row of B⁻¹.
+// a right-hand-side change: pick the leaving row by dual Devex weights
+// (largest violation in the approximate steepest-edge norm), pick the
+// entering column by the dual ratio test (preserving d ≥ 0), pivot, repeat.
+// No admissible entering column proves primal infeasibility, with the
+// Farkas certificate read off the violated row of B⁻¹.
 func (r *revised) dualSimplex() warmStatus {
 	maxPivots, blandAfter := r.budget()
+	dw := r.ws.dwRow[:r.m]
+	for i := range dw {
+		dw[i] = 1
+	}
 	for iter := 0; ; iter++ {
 		if iter >= maxPivots {
 			return warmBail
@@ -432,24 +400,31 @@ func (r *revised) dualSimplex() warmStatus {
 		bland := iter >= blandAfter
 
 		leave := -1
-		worst := -feasTol
-		for i, v := range r.xB {
-			if v < worst {
-				leave = i
-				if bland {
-					break // smallest violated row index wins
+		if bland {
+			for i, v := range r.xB {
+				if v < -feasTol {
+					leave = i // smallest violated row index wins
+					break
 				}
-				worst = v
+			}
+		} else {
+			best := 0.0
+			for i, v := range r.xB {
+				if v < -feasTol {
+					if score := v * v / dw[i]; score > best {
+						best, leave = score, i
+					}
+				}
 			}
 		}
 		if leave < 0 {
 			return warmOptimal
 		}
 
-		r.computeY()
-		rho := r.bs.binv[leave]
+		rho := r.btranRow(leave)
 		enter := -1
 		bestRatio := math.Inf(1)
+		wq := 0.0
 		for j := 0; j < r.width; j++ {
 			if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
 				continue
@@ -461,25 +436,55 @@ func (r *revised) dualSimplex() warmStatus {
 			d := math.Max(r.reducedCost(j), 0)
 			ratio := d / -w
 			if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (enter < 0 || j < enter)) {
-				bestRatio = ratio
-				enter = j
+				bestRatio, enter, wq = ratio, j, w
 			}
 		}
 		if enter < 0 {
 			// Row `leave` reads Σ_j w_j·x_j = x_B[leave] < 0 with w ≥ 0 over
 			// every enterable column: infeasible. f = −ρ is the certificate.
-			r.ray = make([]float64, r.m)
+			ray := r.ws.ray[:r.m]
 			for k := 0; k < r.m; k++ {
-				r.ray[k] = -rho[k]
+				ray[k] = -rho[k]
 			}
+			r.ray = ray
 			return warmInfeasible
 		}
 
-		u := make([]float64, r.m)
-		r.ftran(enter, u)
-		if math.Abs(u[leave]) <= pivotTol {
-			return warmBail // B⁻¹ too stale for this pivot
+		u := r.ftran(enter)
+		alpha := u[leave]
+		if math.Abs(alpha) <= pivotTol {
+			return warmBail // factorization too stale for this pivot
 		}
+
+		// Incremental dual update: y ← y + (d_q/α_q)·ρ keeps reduced costs
+		// current without a btran per pricing pass; computeY at every
+		// refactorization flushes the drift.
+		if step := r.reducedCost(enter) / wq; step != 0 {
+			for i := 0; i < r.m; i++ {
+				r.y[i] += step * rho[i]
+			}
+		}
+
+		// Dual Devex weight update, free from vectors already in hand.
+		// Skipped once Bland selection is active: it never reads dw again.
+		if !bland {
+			wr := dw[leave]
+			inv2 := 1 / (alpha * alpha)
+			for i := 0; i < r.m; i++ {
+				if i == leave {
+					continue
+				}
+				if ui := u[i]; ui != 0 {
+					if s := ui * ui * inv2 * wr; s > dw[i] {
+						dw[i] = s
+					}
+				}
+			}
+			if dw[leave] = wr * inv2; dw[leave] < 1 {
+				dw[leave] = 1
+			}
+		}
+
 		if !r.pivotUpdate(leave, enter, u) {
 			return warmBail
 		}
@@ -487,38 +492,51 @@ func (r *revised) dualSimplex() warmStatus {
 }
 
 // primalSimplex re-optimizes from a primal-feasible basis after a cost
-// change: standard revised primal iterations with Dantzig pricing and a
-// Bland fallback.
+// change: revised primal iterations with Devex reference-weight pricing and
+// a Bland fallback.
 func (r *revised) primalSimplex() warmStatus {
 	maxPivots, blandAfter := r.budget()
-	u := make([]float64, r.m)
+	dw := r.ws.dwCol[:r.width]
+	for j := range dw {
+		dw[j] = 1
+	}
 	for iter := 0; ; iter++ {
 		if iter >= maxPivots {
 			return warmBail
 		}
 		bland := iter >= blandAfter
 
-		r.computeY()
 		enter := -1
-		best := -costTol
-		for j := 0; j < r.width; j++ {
-			if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
-				continue
-			}
-			d := r.reducedCost(j)
-			if d < best {
-				enter = j
-				if bland {
+		if bland {
+			for j := 0; j < r.width; j++ {
+				if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
+					continue
+				}
+				if r.reducedCost(j) < -costTol {
+					enter = j
 					break
 				}
-				best = d
+			}
+		} else {
+			best := 0.0
+			for j := 0; j < r.width; j++ {
+				if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
+					continue
+				}
+				d := r.reducedCost(j)
+				if d >= -costTol {
+					continue
+				}
+				if score := d * d / dw[j]; score > best {
+					best, enter = score, j
+				}
 			}
 		}
 		if enter < 0 {
 			return warmOptimal
 		}
 
-		r.ftran(enter, u)
+		u := r.ftran(enter)
 		leave := -1
 		bestRatio := math.Inf(1)
 		for i := 0; i < r.m; i++ {
@@ -535,6 +553,41 @@ func (r *revised) primalSimplex() warmStatus {
 		if leave < 0 {
 			return warmUnbounded
 		}
+		alpha := u[leave]
+
+		// Devex reference-weight update over the pivot row — the one
+		// O(nnz) sweep Devex costs per pivot — plus the incremental dual
+		// update (same formula as the dual simplex). The weight sweep is
+		// skipped once Bland selection is active (it never reads dw
+		// again); ρ is still needed for the dual update.
+		rho := r.btranRow(leave)
+		dq := r.reducedCost(enter)
+		if !bland {
+			gq := dw[enter]
+			inv2 := 1 / (alpha * alpha)
+			leaveCol := r.bs.cols[leave]
+			for j := 0; j < r.width; j++ {
+				if r.inBasis[j] || j == enter || (j >= r.n && r.pinned[j-r.n]) {
+					continue
+				}
+				aj := r.colDot(rho, j)
+				if aj == 0 {
+					continue
+				}
+				if s := aj * aj * inv2 * gq; s > dw[j] {
+					dw[j] = s
+				}
+			}
+			if dw[leaveCol] = gq * inv2; dw[leaveCol] < 1 {
+				dw[leaveCol] = 1
+			}
+		}
+		if step := dq / alpha; step != 0 {
+			for i := 0; i < r.m; i++ {
+				r.y[i] += step * rho[i]
+			}
+		}
+
 		if !r.pivotUpdate(leave, enter, u) {
 			return warmBail
 		}
@@ -542,10 +595,16 @@ func (r *revised) primalSimplex() warmStatus {
 }
 
 // optimalSolution extracts primal values, objective and duals at the
-// current basis. Rows were never flipped, so duals come out already in the
-// caller's orientation.
+// current basis into workspace-owned buffers. Rows were never flipped, so
+// duals come out already in the caller's orientation. The duals are
+// recomputed exactly from the factorization — not the incrementally
+// updated y — so pivot-drift never reaches callers.
 func (r *revised) optimalSolution() *Solution {
-	x := make([]float64, r.n)
+	ws := r.ws
+	x := ws.x[:r.n]
+	for j := range x {
+		x[j] = 0
+	}
 	obj := 0.0
 	for i, c := range r.bs.cols {
 		if c < r.n {
@@ -554,9 +613,11 @@ func (r *revised) optimalSolution() *Solution {
 		}
 	}
 	r.computeY()
-	dual := make([]float64, r.m)
+	dual := ws.dual[:r.m]
 	copy(dual, r.y)
-	return &Solution{Status: Optimal, Obj: obj, X: x, Dual: dual, Pivots: r.pivots}
+	sol := &ws.sol
+	*sol = Solution{Status: Optimal, Obj: obj, X: x, Dual: dual, Pivots: r.pivots}
+	return sol
 }
 
 // verifyOptimal cross-checks a warm optimum the way the package tests do —
@@ -564,7 +625,8 @@ func (r *revised) optimalSolution() *Solution {
 // degraded basis can never silently return a wrong answer; a failed check
 // sends the caller to the cold path.
 func (r *revised) verifyOptimal(sol *Solution) bool {
-	for _, row := range r.p.rows {
+	for i := range r.p.rows {
+		row := &r.p.rows[i]
 		act, scale := 0.0, 1.0
 		for _, tm := range row.terms {
 			act += tm.Coef * sol.X[tm.Var]
@@ -598,7 +660,8 @@ func (r *revised) verifyOptimal(sol *Solution) bool {
 // fᵀA ≤ 0 on every structural column, sense-consistent signs, f·b > 0.
 func (r *revised) verifyRay() bool {
 	rb := 0.0
-	for i, row := range r.p.rows {
+	for i := range r.p.rows {
+		row := &r.p.rows[i]
 		f := r.ray[i]
 		switch row.sense {
 		case LE:
@@ -616,11 +679,7 @@ func (r *revised) verifyRay() bool {
 		return false
 	}
 	for j := 0; j < r.n; j++ {
-		agg := 0.0
-		for _, e := range r.cola[j] {
-			agg += r.ray[e.row] * e.coef
-		}
-		if agg > 1e-6 {
+		if r.colDot(r.ray, j) > 1e-6 {
 			return false
 		}
 	}

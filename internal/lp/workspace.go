@@ -1,0 +1,219 @@
+// workspace.go owns every piece of mutable solver scratch the warm path
+// needs, so that a long-lived Basis — the Benders slave carried across
+// epochs by core.BendersSession, the per-shard sessions of the admission
+// engine, the reopt controller's re-solve loop, the shared node basis of
+// the milp branch-and-bound — amortizes all allocation across solves. After
+// the first warm solve on a given problem structure, the steady-state
+// SolveFrom path (factorize-check, ftran/btran, pricing, pivots, solution
+// extraction, verification) performs zero heap allocations; the
+// TestWarmSteadyStateZeroAllocs pin holds it there.
+package lp
+
+// growF64 returns a zeroed float slice of length n, reusing buf's backing
+// array when it is large enough.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growI32 is growF64 for int32 index slices.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growInt is growF64 for int slices.
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growBool is growF64 for bool slices.
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// workspace is the reusable solver state owned by a Basis. It caches the
+// problem's structural matrix in compressed-sparse-column form (rebuilt only
+// when the problem's structural revision moves), the factorization engines,
+// all iteration scratch, and the Solution buffers the warm path returns.
+type workspace struct {
+	// Structural cache validity: the problem pointer and its structural
+	// revision at cache-build time. SetRHS/SetCost do not advance rev, so
+	// the Benders slave's per-iteration RHS rewrites and the cross-epoch
+	// refresh keep the cache; any AddVar/AddConstraint invalidates it.
+	owner *Problem
+	rev   int
+
+	// Column-sparse structural A (caller row orientation), flattened.
+	colPtr []int32
+	colRow []int32
+	colVal []float64
+
+	sigma  []float64 // marker coefficient per row: +1 for ≤ and =, −1 for ≥
+	pinned []bool    // = rows: marker may be basic at zero but never enters
+	rhs    []float64 // current right-hand sides, refreshed per solve
+
+	fillCur []int32 // CSC fill cursor scratch for structure rebuilds
+
+	inBasis []bool
+
+	// Iteration scratch, all m- or width-sized.
+	xB    []float64 // basic variable values, aligned with Basis.cols
+	y     []float64 // duals c_Bᵀ·B⁻¹, maintained incrementally per pivot
+	u     []float64 // ftran result B⁻¹·A_enter (position-indexed)
+	rho   []float64 // btran result: pivot row of B⁻¹ (row-indexed)
+	unit  []float64 // all-zero vector; one entry set/cleared around btran
+	scat  []float64 // row-space scatter buffer for ftran inputs
+	dwRow []float64 // dual-simplex Devex row weights
+	dwCol []float64 // primal-simplex Devex column weights
+
+	// Solution buffers returned by the warm path. They are owned by the
+	// Basis and overwritten by the next SolveFrom on it.
+	x    []float64
+	dual []float64
+	ray  []float64
+	sol  Solution
+
+	r     revised
+	lu    sparseLU
+	dense denseFactor
+
+	// Cold-path tableau reuse: when SolveFrom falls back to the two-phase
+	// tableau, its dense state is carved out of these buffers instead of
+	// being reallocated per solve.
+	tabA     []float64
+	tabObj   []float64
+	tabCost  []float64
+	tabBasis []int
+	tabSign  []float64
+	tabEq    []bool
+	tabFlip  []float64
+	tabCB    []float64
+}
+
+// prepare (re)binds the workspace to problem p and basis bs, rebuilding the
+// structural caches only when the problem's structure changed, and
+// refreshing the cheap per-solve state (RHS snapshot, basis membership).
+// It returns the per-solve revised-simplex view.
+func (b *Basis) prepare(p *Problem) *revised {
+	if b.ws == nil {
+		b.ws = &workspace{}
+	}
+	ws := b.ws
+	m, n := len(p.rows), len(p.cost)
+
+	if ws.owner != p || ws.rev != p.rev {
+		// Structure changed (or first use): rebuild the CSC matrix and row
+		// metadata, and drop any factorization taken on the old matrix.
+		b.eng = nil
+		ws.owner, ws.rev = p, p.rev
+		nnz := 0
+		for i := range p.rows {
+			nnz += len(p.rows[i].terms)
+		}
+		ws.colPtr = growI32(ws.colPtr, n+1)
+		ws.colRow = growI32(ws.colRow, nnz)
+		ws.colVal = growF64(ws.colVal, nnz)
+		for i := range p.rows {
+			for _, tm := range p.rows[i].terms {
+				ws.colPtr[tm.Var+1]++
+			}
+		}
+		for j := 0; j < n; j++ {
+			ws.colPtr[j+1] += ws.colPtr[j]
+		}
+		ws.fillCur = growI32(ws.fillCur, n)
+		next := ws.fillCur
+		copy(next, ws.colPtr[:n])
+		for i := range p.rows {
+			for _, tm := range p.rows[i].terms {
+				t := next[tm.Var]
+				ws.colRow[t] = int32(i)
+				ws.colVal[t] = tm.Coef
+				next[tm.Var] = t + 1
+			}
+		}
+
+		ws.sigma = growF64(ws.sigma, m)
+		ws.pinned = growBool(ws.pinned, m)
+		for i := range p.rows {
+			switch p.rows[i].sense {
+			case LE:
+				ws.sigma[i] = 1
+			case GE:
+				ws.sigma[i] = -1
+			case EQ:
+				ws.sigma[i] = 1
+				ws.pinned[i] = true
+			}
+		}
+
+		ws.rhs = growF64(ws.rhs, m)
+		ws.inBasis = growBool(ws.inBasis, n+m)
+		ws.xB = growF64(ws.xB, m)
+		ws.y = growF64(ws.y, m)
+		ws.u = growF64(ws.u, m)
+		ws.rho = growF64(ws.rho, m)
+		ws.unit = growF64(ws.unit, m)
+		ws.scat = growF64(ws.scat, m)
+		ws.dwRow = growF64(ws.dwRow, m)
+		ws.dwCol = growF64(ws.dwCol, n+m)
+		ws.x = growF64(ws.x, n)
+		ws.dual = growF64(ws.dual, m)
+		ws.ray = growF64(ws.ray, m)
+	}
+
+	// Cheap per-solve refresh.
+	for i := range p.rows {
+		ws.rhs[i] = p.rows[i].rhs
+	}
+	inb := ws.inBasis[: n+m : n+m]
+	for j := range inb {
+		inb[j] = false
+	}
+	for _, c := range b.cols {
+		if c >= 0 && c < n+m {
+			inb[c] = true
+		}
+	}
+
+	r := &ws.r
+	*r = revised{
+		p: p, m: m, n: n, width: n + m,
+		ws:      ws,
+		sigma:   ws.sigma[:m],
+		pinned:  ws.pinned[:m],
+		rhs:     ws.rhs[:m],
+		bs:      b,
+		inBasis: inb,
+		xB:      ws.xB[:m],
+		y:       ws.y[:m],
+	}
+	return r
+}

@@ -7,4 +7,10 @@
 // master problem (Problem 5) are exactly of this shape: binary admission /
 // path-selection decisions x coupled with continuous reservations, so a
 // binary-only branching scheme is sufficient and keeps the search simple.
+//
+// Node relaxations warm-start: each binary owns a pair of bound rows whose
+// right-hand sides encode a node's fixings, and every node re-enters one
+// shared lp.Basis via SolveFrom — a pure RHS change, a few dual-simplex
+// pivots — instead of cloning the problem and cold-solving it (DESIGN.md
+// §7). Exploration order, branching and tie resolution are deterministic.
 package milp

@@ -1,0 +1,6 @@
+// Package profiling is the one shared implementation of the
+// -cpuprofile/-memprofile flags the CLIs (cmd/simctl, cmd/loadgen) expose:
+// start a pprof CPU capture, dump a live-object heap profile on clean
+// exit. EXPERIMENTS.md "Profiling the solver" documents the workflow these
+// flags support.
+package profiling

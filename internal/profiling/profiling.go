@@ -1,0 +1,49 @@
+package profiling
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile (when cpu is non-empty) and arms a heap
+// profile dump (when mem is non-empty). The returned stop function must run
+// before process exit for the files to be complete — callers defer it in
+// main; log.Fatal paths lose the profile, which is acceptable for a
+// diagnostics flag. Either path may be empty independently.
+func Start(cpu, mem string) (stop func(), err error) {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			writeHeap(mem)
+		}, nil
+	}
+	return func() { writeHeap(mem) }, nil
+}
+
+// writeHeap dumps the live-object heap profile to mem (no-op when empty).
+func writeHeap(mem string) {
+	if mem == "" {
+		return
+	}
+	f, err := os.Create(mem)
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile shows live objects
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Print(err)
+	}
+}

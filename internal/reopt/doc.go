@@ -18,7 +18,10 @@
 //     batched Engine.UpdateForecasts and a warm re-solve round
 //     (Engine.DecideRound) rescales every reservation and decides the
 //     queued arrivals; rounds that only drift forecasts re-enter the
-//     domain's warm Benders session instead of rebuilding it;
+//     domain's warm Benders session instead of rebuilding it, and the
+//     session's basis workspace keeps the steady-state slave solves
+//     allocation-free, so a tight reoptimization cadence does not grow
+//     GC pressure with uptime;
 //  4. advance — slice lifetimes tick and expiries are reported.
 //
 // An optional OnRound hook runs between (3) and (4): the control plane

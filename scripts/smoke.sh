@@ -17,8 +17,15 @@ run go run ./cmd/testbed
 run go run ./cmd/scenario list
 run go run ./cmd/scenario run -name flash-crowd -seed 7
 # Seeds 42.. cross the distress seed the Benders fallback regression
-# guards (see internal/scenario/distress_test.go).
-run go run ./cmd/scenario sweep -name sla-mix -seeds 2
+# guards (see internal/scenario/distress_test.go). The sweep output is also
+# pinned byte-for-byte against a golden file: solver refactors (the sparse
+# LU engine, pricing changes) may change pivot paths but must not move the
+# decisions or the printed revenue. Refresh intentionally with:
+#   go run ./cmd/scenario sweep -name sla-mix -seeds 2 > scripts/golden/scenario_sweep_sla-mix.golden
+echo "smoke: scenario sweep golden"
+go run ./cmd/scenario sweep -name sla-mix -seeds 2 > /tmp/scenario_sweep_smoke.out
+diff -u scripts/golden/scenario_sweep_sla-mix.golden /tmp/scenario_sweep_smoke.out
+rm -f /tmp/scenario_sweep_smoke.out
 run go run ./cmd/loadgen -scenario heavy-tail -domains 2 -tenants 4 -epochs 8
 run go run ./cmd/loadgen -scenario diurnal-drift -domains 1 -tenants 4 -epochs 10 -mode closed -reoffer
 run go run ./cmd/loadgen -scenario diurnal-drift -domains 1 -tenants 4 -epochs 10 -mode static -reoffer
