@@ -8,7 +8,7 @@ GO ?= go
 # catching wholesale test deletions or big untested subsystems.
 COVER_FLOOR ?= 75
 
-.PHONY: build test test-race vet fmt-check bench bench-smoke bench-json bench-compare fuzz-smoke cover docs-check links-check smoke ci
+.PHONY: build test test-race vet fmt-check lint bench bench-smoke bench-json bench-compare fuzz-smoke recover-check cover docs-check links-check smoke clean ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,20 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint runs staticcheck at a pinned version via `go run`, so no tool
+# binary is vendored or installed into the image. The version probe keeps
+# the target green in offline sandboxes (this module is dependency-free;
+# staticcheck is the one network fetch in the toolchain) — hosted CI has
+# network and always runs the real check.
+STATICCHECK_VERSION ?= 2023.1.7
+
+lint:
+	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "lint: staticcheck $(STATICCHECK_VERSION) unfetchable (offline); skipping"; \
+	fi
 
 # bench regenerates every figure/table artifact with real timing.
 bench:
@@ -46,7 +60,7 @@ bench-smoke:
 # these artifacts): GOMAXPROCS is fixed so benchmark names carry no -N
 # procs suffix and scheduling is stable, and -benchtime is fixed at one
 # iteration. Override BENCH_PROCS only together with a fresh baseline.
-BENCH_JSON  ?= BENCH_PR5.json
+BENCH_JSON  ?= BENCH_PR6.json
 BENCH_PROCS ?= 1
 
 bench-json:
@@ -71,7 +85,7 @@ bench-json:
 # benchmark names prove it effectively ran at GOMAXPROCS=1 — so it is
 # comparable to the pinned runs; from PR 5 on, baselines and fresh runs
 # share identical settings by construction.
-BASE            ?= BENCH_PR4.json
+BASE            ?= BENCH_PR5.json
 BENCH_THRESHOLD ?= 0.15
 HOT_BENCHES     ?= BenchmarkFig5Homogeneous,BenchmarkFig6Heterogeneous,BenchmarkSimRun/warm,BenchmarkAdmissionThroughput/shards=1
 
@@ -79,9 +93,27 @@ bench-compare:
 	$(GO) run ./cmd/benchjson compare -threshold $(BENCH_THRESHOLD) -hot '$(HOT_BENCHES)' $(BASE) $(BENCH_JSON)
 
 # fuzz-smoke gives each native fuzz target a short budget; crashes found in
-# CI reproduce locally via the corpus file Go writes on failure.
+# CI reproduce locally via the corpus file Go writes on failure. The loop
+# discovers targets with `go test -list`, so a new Fuzz* function is in
+# the smoke budget the moment it is committed — no Makefile edit to forget.
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz FuzzDecodeTopology -fuzztime 10s ./internal/topology
+	@set -e; \
+	for pkg in $$($(GO) list ./...); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz' || true); do \
+			echo "fuzz-smoke: $$target ($$pkg)"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime 10s $$pkg; \
+		done; \
+	done
+
+# recover-check is the crash-recovery gate: the kill-and-replay suite in
+# internal/wal hard-kills the control plane at randomized epoch boundaries
+# and requires the recovered decision trace, yield ledger and tracker
+# state to equal an uninterrupted run bit for bit. -count=1 defeats the
+# test cache — a recovery gate that silently replays a cached PASS guards
+# nothing — and the explicit -timeout keeps a wedged replay from eating
+# the job's whole budget.
+recover-check:
+	$(GO) test ./internal/wal/ -run 'TestKillAndReplay|TestCleanShutdown|TestRecoverTruncates' -count=1 -timeout 10m
 
 # docs-check fails when a package lacks its godoc: every internal/*
 # package must carry a doc.go opening with "// Package <name>", every
@@ -111,6 +143,13 @@ links-check:
 smoke:
 	./scripts/smoke.sh
 
+# clean removes every scratch artifact the build/bench/profile targets
+# drop (committed BENCH_PR<n>.json baselines are durable outputs, not
+# scratch, and are left alone).
+clean:
+	rm -f coverage.out bench.raw cpu.out mem.out *.pprof *.prof
+	rm -rf ovnes-data
+
 # cover enforces the statement-coverage floor over the whole module.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -119,4 +158,4 @@ cover:
 	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN{exit !(t>=f)}' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-ci: build vet fmt-check docs-check links-check test-race cover fuzz-smoke smoke bench-json bench-compare
+ci: build vet fmt-check lint docs-check links-check test-race cover fuzz-smoke recover-check smoke bench-json bench-compare

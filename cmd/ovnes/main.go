@@ -8,7 +8,8 @@
 //
 //	ovnes [-listen 127.0.0.1:8080] [-collector 127.0.0.1:6343] \
 //	      [-topology testbed|romanian|swiss|italian] [-nbs 4] [-algo direct] \
-//	      [-shards 1] [-queue 1024] [-epoch-every 0]
+//	      [-shards 1] [-queue 1024] [-epoch-every 0] \
+//	      [-data-dir ovnes-data] [-snapshot-every 16]
 //
 // Endpoints (orchestrator): POST /requests, POST /epoch, GET /slices,
 // GET /epoch, GET /metrics, GET /yield. The controllers listen on
@@ -16,6 +17,13 @@
 // (internal/reopt) runs one epoch per period on its own — monitoring
 // feeds forecasts, reservations rescale, realized yield settles — and
 // POST /epoch just inserts extra epochs.
+//
+// With -data-dir, every decision round's inputs are logged to a durable
+// WAL and the control-plane state snapshots periodically (internal/wal):
+// kill the process at any point, restart it with the same -data-dir, and
+// it recovers the exact pre-kill decision state and yield account before
+// serving. A clean shutdown writes a final snapshot, making the next
+// start replay-free.
 //
 // SIGINT/SIGTERM shut the stack down gracefully: listeners stop accepting,
 // in-flight HTTP requests finish, the admission engine drains its queue,
@@ -54,6 +62,8 @@ func main() {
 		shards     = flag.Int("shards", 1, "admission engine solver workers")
 		queue      = flag.Int("queue", 1024, "admission engine intake depth")
 		epochEvery = flag.Duration("epoch-every", 0, "run the closed loop on this wall-clock period (0 = epochs only via POST /epoch)")
+		dataDir    = flag.String("data-dir", "", "durable WAL + snapshot directory; decisions survive a kill and replay on restart (empty = no durability)")
+		snapEvery  = flag.Int("snapshot-every", 16, "snapshot cadence in epochs (with -data-dir)")
 	)
 	flag.Parse()
 
@@ -111,9 +121,15 @@ func main() {
 		RANAddr:       "http://" + addrOf(1),
 		TransportAddr: "http://" + addrOf(2),
 		CloudAddr:     "http://" + addrOf(3),
+		DataDir:       *dataDir,
+		SnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rep := orch.Recovery(); rep != nil {
+		log.Printf("durable state in %s: snapshot at LSN %d, %d records replayed (%d rounds), %d uncommitted tail records dropped",
+			*dataDir, rep.SnapshotLSN, rep.Applied, rep.Rounds, rep.HeldBack)
 	}
 	serve(*listen, fmt.Sprintf("E2E orchestrator (%s, %s)", net_.Name, *algo), orch.Handler())
 	if *epochEvery > 0 {

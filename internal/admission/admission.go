@@ -185,6 +185,26 @@ func (dc DomainConfig) withDefaults() (DomainConfig, error) {
 // the no-overbooking baseline).
 func (dc DomainConfig) overbook() bool { return dc.Algorithm != "no-overbooking" }
 
+// RoundLog is the engine's durability hook, implemented by internal/wal:
+// the engine appends each round's inputs — the batch in canonical order,
+// forecast updates, epoch advances — and group-commits once per round with
+// SyncRound before any caller observes an outcome (log-before-ack). The
+// non-round appends are buffered; the round boundary is the only fsync.
+// Implementations must be safe for concurrent use (shards of different
+// domains log concurrently).
+type RoundLog interface {
+	// AppendRound records one round's fresh batch (already in canonical
+	// sorted order) under the domain's round sequence number.
+	AppendRound(domain string, seq uint64, batch []Request) error
+	// AppendForecasts records a forecast-view refresh of committed slices.
+	AppendForecasts(domain string, ups []ForecastUpdate) error
+	// AppendAdvance records one epoch tick of the domain's lifecycle clock.
+	AppendAdvance(domain string) error
+	// SyncRound makes everything appended so far durable; called once per
+	// round, before the round's outcomes are acked.
+	SyncRound() error
+}
+
 // Config parameterizes the engine.
 type Config struct {
 	// Shards is the solver worker count; domains hash onto shards. Default 1.
@@ -211,6 +231,11 @@ type Config struct {
 	// the yield account. The realized side is booked by whoever monitors
 	// actual traffic (the closed-loop controller, internal/reopt).
 	Ledger *yield.Ledger
+	// Log, when set, makes decisions durable: every round's inputs are
+	// appended and fsynced before its outcomes resolve, so a crashed
+	// engine rebuilt via RestoreDomain + ReplayRound reproduces the
+	// committed state bit for bit (internal/wal).
+	Log RoundLog
 }
 
 func (c Config) withDefaults() Config {

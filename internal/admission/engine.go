@@ -55,6 +55,9 @@ type roundJob struct {
 	d     *domain
 	batch []pending
 	done  chan *Round // non-nil for synchronous DecideRound callers
+	// replay marks a recovery-time re-execution of a logged round: no
+	// tickets to resolve, no intake accounting to settle, nothing to log.
+	replay bool
 }
 
 // pending is one queued request.
@@ -358,6 +361,14 @@ func (e *Engine) UpdateForecasts(domainName string, ups []ForecastUpdate) error 
 			return fmt.Errorf("admission: no committed slice %q in domain %q", u.Name, d.name)
 		}
 	}
+	if e.cfg.Log != nil && len(ups) > 0 {
+		// Buffered append (no fsync): the record rides the next round's
+		// group commit. Appending under dmu keeps the log's per-domain
+		// order identical to the order the state mutations apply in.
+		if err := e.cfg.Log.AppendForecasts(d.name, ups); err != nil {
+			return fmt.Errorf("admission: wal append forecasts: %w", err)
+		}
+	}
 	for _, u := range ups {
 		m := d.byName[u.Name]
 		m.lambdaHat = u.LambdaHat
@@ -417,6 +428,15 @@ func (e *Engine) Advance(domainName string) ([]string, error) {
 		return nil, err
 	}
 	d.dmu.Lock()
+	if e.cfg.Log != nil {
+		// Buffered like forecast records; durable with the next round's
+		// fsync (or a snapshot/close sync). A lost tail advance is redone
+		// deterministically by recovery's step completion.
+		if err := e.cfg.Log.AppendAdvance(d.name); err != nil {
+			d.dmu.Unlock()
+			return nil, fmt.Errorf("admission: wal append advance: %w", err)
+		}
+	}
 	var expired []string
 	keep := d.committed[:0]
 	for _, m := range d.committed {
@@ -619,9 +639,29 @@ func (e *Engine) execRound(job *roundJob) {
 
 	var dec *core.Decision
 	var err error
-	if len(specs) == 0 {
+	if e.cfg.Log != nil && !job.replay {
+		// Log-before-ack: the round's inputs (plus any forecast/advance
+		// records buffered before them) become durable in one group fsync
+		// before any outcome can reach a caller. A crash after this point
+		// replays the round deterministically; a crash before it means no
+		// caller was acked, so nothing is owed. A log failure poisons the
+		// round instead of acking decisions that would not survive a crash.
+		reqs := make([]Request, len(job.batch))
+		for i, p := range job.batch {
+			reqs[i] = p.req
+		}
+		if lerr := e.cfg.Log.AppendRound(d.name, r.Seq, reqs); lerr != nil {
+			err = fmt.Errorf("wal append: %w", lerr)
+		} else if lerr := e.cfg.Log.SyncRound(); lerr != nil {
+			err = fmt.Errorf("wal sync: %w", lerr)
+		}
+	}
+	switch {
+	case err != nil:
+		// Logging failed; decide nothing.
+	case len(specs) == 0:
 		dec = &core.Decision{} // nothing to decide, nothing to re-optimize
-	} else {
+	default:
 		inst := &core.Instance{
 			Net: d.cfg.Net, Paths: d.paths, Tenants: specs,
 			Overbook: d.cfg.overbook(), BigM: d.cfg.BigM, RiskHorizon: d.cfg.RiskHorizon,
@@ -676,7 +716,17 @@ func (e *Engine) execRound(job *roundJob) {
 
 	roundMs := float64(time.Since(start)) / float64(time.Millisecond)
 	if r.Err == nil && e.cfg.Ledger != nil {
+		// Booked on replay too: the ledger snapshot predates the replayed
+		// rounds, so each one re-books its expected revenue exactly once.
 		e.cfg.Ledger.BookExpected(d.name, dec.Revenue())
+	}
+	if job.replay {
+		// No tickets, no intake accounting, no metrics, no monitoring
+		// samples: replay rebuilds decision state, not serving history.
+		if job.done != nil {
+			job.done <- r
+		}
+		return
 	}
 
 	e.mu.Lock()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/reopt"
 	"repro/internal/slice"
 	"repro/internal/topology"
+	"repro/internal/wal"
 	"repro/internal/yield"
 )
 
@@ -42,6 +43,15 @@ type OrchestratorConfig struct {
 	// Store is the monitoring backend the collector writes into; the
 	// admission engine publishes its round vitals into the same store.
 	Store *monitor.Store
+
+	// DataDir, when set, makes decisions durable: the orchestrator opens a
+	// WAL there (internal/wal), recovers whatever a previous process left
+	// behind before serving, logs every epoch's inputs, snapshots every
+	// SnapshotEvery epochs, and writes a final snapshot on a clean Close.
+	// Empty disables durability entirely (the prior behavior).
+	DataDir string
+	// SnapshotEvery is the snapshot cadence in epochs; default 16.
+	SnapshotEvery int
 }
 
 // orchSlice is the orchestrator's lifecycle state for one slice. (The
@@ -74,12 +84,14 @@ type orchSlice struct {
 // a shared yield.Ledger, published raw at GET /yield and alongside the
 // engine snapshot at GET /metrics.
 type Orchestrator struct {
-	cfg    OrchestratorConfig
-	paths  [][][]topology.Path
-	client *http.Client
-	eng    *admission.Engine
-	loop   *reopt.Controller
-	ledger *yield.Ledger
+	cfg      OrchestratorConfig
+	paths    [][][]topology.Path
+	client   *http.Client
+	eng      *admission.Engine
+	loop     *reopt.Controller
+	ledger   *yield.Ledger
+	wal      *wal.Store  // nil when DataDir is unset
+	recovery *wal.Report // nil when nothing was recovered
 
 	mu     sync.Mutex
 	epoch  int
@@ -112,22 +124,42 @@ func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
 		cfg.Store = monitor.NewStore(0)
 	}
 	ledger := yield.NewLedger()
-	eng := admission.New(admission.Config{
+
+	// Durability first: a previous process's log must be recovered before
+	// the engine starts serving, so replayed rounds run with no shard
+	// worker racing them.
+	var wstore *wal.Store
+	var recovered *wal.Recovered
+	if cfg.DataDir != "" {
+		if cfg.SnapshotEvery <= 0 {
+			cfg.SnapshotEvery = 16
+		}
+		var err error
+		wstore, recovered, err = wal.Open(wal.Options{Dir: cfg.DataDir})
+		if err != nil {
+			return nil, fmt.Errorf("ctrlplane: %w", err)
+		}
+	}
+
+	engCfg := admission.Config{
 		Shards:     cfg.Shards,
 		QueueDepth: cfg.QueueDepth,
 		TenantCap:  cfg.TenantCap,
 		Store:      cfg.Store,
 		Ledger:     ledger,
-	})
+	}
+	if wstore != nil {
+		// Assigned only when non-nil: a nil *wal.Store in the interface
+		// field would read as "logging enabled" to the engine.
+		engCfg.Log = wstore
+	}
+	eng := admission.New(engCfg)
 	if err := eng.AddDomain(admission.DefaultDomain, admission.DomainConfig{
 		Net:       cfg.Net,
 		KPaths:    cfg.KPaths,
 		Algorithm: cfg.Algorithm,
 	}); err != nil {
 		return nil, fmt.Errorf("ctrlplane: %w", err)
-	}
-	if err := eng.Start(); err != nil {
-		return nil, err
 	}
 	// Share the engine's path enumeration: program() must index paths with
 	// the PathIdx values the engine's decisions produced, so using the very
@@ -142,30 +174,106 @@ func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
 		client: &http.Client{Timeout: 10 * time.Second},
 		eng:    eng,
 		ledger: ledger,
+		wal:    wstore,
 		slices: map[string]*orchSlice{},
 	}
-	loop, err := reopt.New(reopt.Config{
+	loopCfg := reopt.Config{
 		Engine:   eng,
 		Store:    cfg.Store,
 		Ledger:   ledger,
 		HWPeriod: cfg.HWPeriod,
 		OnRound:  o.programRound,
-	})
+	}
+	if wstore != nil {
+		loopCfg.Log = wstore
+		loopCfg.SnapshotEvery = cfg.SnapshotEvery
+		loopCfg.Snapshot = func(cs reopt.ControllerState) error {
+			snap, err := wal.BuildSnapshot(eng, []string{admission.DefaultDomain}, []reopt.ControllerState{cs}, ledger)
+			if err != nil {
+				return err
+			}
+			return wstore.WriteSnapshot(snap)
+		}
+	}
+	loop, err := reopt.New(loopCfg)
 	if err != nil {
-		eng.Stop()
+		if wstore != nil {
+			wstore.Close()
+		}
 		return nil, fmt.Errorf("ctrlplane: %w", err)
 	}
 	o.loop = loop
+	if wstore != nil {
+		rep, err := wal.Recover(wstore, recovered, wal.Target{Engine: eng, Controller: loop, Ledger: ledger})
+		if err != nil {
+			wstore.Close()
+			return nil, fmt.Errorf("ctrlplane: recovery: %w", err)
+		}
+		o.recovery = rep
+		o.epoch = loop.Epoch()
+		// Rebuild the REST registry from the recovered committed state. The
+		// registry of terminated slices (rejected, expired) is serving
+		// history, not decision state, and is deliberately not durable.
+		// The data plane self-heals on the first epoch: programRound
+		// pushes every accepted slice's reservation southbound each round.
+		committed, err := eng.CommittedDetail(admission.DefaultDomain)
+		if err != nil {
+			wstore.Close()
+			return nil, err
+		}
+		for _, m := range committed {
+			o.slices[m.Name] = &orchSlice{
+				req: SliceRequest{
+					Name: m.Name, Tenant: m.Tenant,
+					Type:           m.SLA.Type.String(),
+					DurationEpochs: m.SLA.Duration,
+				},
+				tmpl:      m.SLA.Template,
+				sla:       m.SLA,
+				state:     "active",
+				cu:        m.CU,
+				reserved:  append([]float64(nil), m.Reserved...),
+				remaining: m.Remaining,
+				arrival:   o.epoch - (m.SLA.Duration - m.Remaining),
+			}
+			o.order = append(o.order, m.Name)
+		}
+	}
+	if err := eng.Start(); err != nil {
+		if wstore != nil {
+			wstore.Close()
+		}
+		return nil, err
+	}
 	return o, nil
 }
 
+// Recovery reports what startup recovered from the data directory; nil
+// when durability is disabled.
+func (o *Orchestrator) Recovery() *wal.Report { return o.recovery }
+
 // Close drains and stops the admission engine: queued requests are decided
-// (bounded by the context) and the solver workers exit.
+// (bounded by the context) and the solver workers exit. With durability
+// enabled it then writes a final snapshot and closes the WAL, so the next
+// open resumes replay-free.
 func (o *Orchestrator) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := o.eng.Drain(ctx)
 	o.eng.Stop()
+	if o.wal != nil {
+		snap, serr := wal.BuildSnapshot(o.eng, []string{admission.DefaultDomain},
+			[]reopt.ControllerState{o.loop.ExportState()}, o.ledger)
+		if serr == nil {
+			serr = o.wal.WriteSnapshot(snap)
+		}
+		if cerr := o.wal.Close(); serr == nil {
+			serr = cerr
+		}
+		if err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 

@@ -1,0 +1,134 @@
+package forecast
+
+import "fmt"
+
+// This file is the durability surface of the forecasting models: every
+// field that influences a future Observe/Forecast/Uncertainty call is
+// exported into a plain state struct, and a model rebuilt from that state
+// is bit-identical to the original — the property the crash-recovery path
+// (internal/wal) leans on to make replayed decision traces exact. The
+// structs are JSON-encodable; Go's float64 JSON round-trip is exact for
+// finite values, so serializing a state and restoring it cannot perturb a
+// single bit of any smoothing level, trend, or tracked error.
+
+// ErrTrackerState is the durable image of the shared one-step error
+// tracker behind every model's σ̂.
+type ErrTrackerState struct {
+	Warm   bool    `json:"warm"`
+	RelVar float64 `json:"rel_var"`
+	N      int     `json:"n"`
+}
+
+func (e *errTracker) state() ErrTrackerState {
+	return ErrTrackerState{Warm: e.warm, RelVar: e.relVar, N: e.n}
+}
+
+func errTrackerFromState(st ErrTrackerState) errTracker {
+	return errTracker{warm: st.Warm, relVar: st.RelVar, n: st.N}
+}
+
+// SESState is the durable image of a SES model, parameters included.
+type SESState struct {
+	Alpha float64         `json:"alpha"`
+	Level float64         `json:"level"`
+	Init  bool            `json:"init"`
+	Err   ErrTrackerState `json:"err"`
+}
+
+// State exports the model.
+func (s *SES) State() SESState {
+	return SESState{Alpha: s.alpha, Level: s.level, Init: s.init, Err: s.et.state()}
+}
+
+// NewSESFromState rebuilds a SES model bit-identical to the exported one.
+func NewSESFromState(st SESState) *SES {
+	return &SES{alpha: st.Alpha, level: st.Level, init: st.Init, et: errTrackerFromState(st.Err)}
+}
+
+// DESState is the durable image of a DES model, parameters included.
+type DESState struct {
+	Alpha float64         `json:"alpha"`
+	Beta  float64         `json:"beta"`
+	Level float64         `json:"level"`
+	Trend float64         `json:"trend"`
+	N     int             `json:"n"`
+	Err   ErrTrackerState `json:"err"`
+}
+
+// State exports the model.
+func (d *DES) State() DESState {
+	return DESState{Alpha: d.alpha, Beta: d.beta, Level: d.level, Trend: d.trend, N: d.n, Err: d.et.state()}
+}
+
+// NewDESFromState rebuilds a DES model bit-identical to the exported one.
+func NewDESFromState(st DESState) *DES {
+	return &DES{alpha: st.Alpha, beta: st.Beta, level: st.Level, trend: st.Trend, n: st.N, et: errTrackerFromState(st.Err)}
+}
+
+// HoltWintersState is the durable image of a Holt-Winters model: smoothing
+// parameters, the level/trend/seasonal components once warmed up, and the
+// warm-up history buffer before that.
+type HoltWintersState struct {
+	Alpha    float64         `json:"alpha"`
+	Beta     float64         `json:"beta"`
+	Gamma    float64         `json:"gamma"`
+	Period   int             `json:"period"`
+	Level    float64         `json:"level"`
+	Trend    float64         `json:"trend"`
+	Seasonal []float64       `json:"seasonal,omitempty"`
+	History  []float64       `json:"history,omitempty"`
+	Ready    bool            `json:"ready"`
+	Step     int             `json:"step"`
+	Err      ErrTrackerState `json:"err"`
+}
+
+// State exports the model.
+func (hw *HoltWinters) State() HoltWintersState {
+	return HoltWintersState{
+		Alpha: hw.alpha, Beta: hw.beta, Gamma: hw.gamma, Period: hw.period,
+		Level: hw.level, Trend: hw.trend,
+		Seasonal: append([]float64(nil), hw.seasonal...),
+		History:  append([]float64(nil), hw.history...),
+		Ready:    hw.ready, Step: hw.step, Err: hw.et.state(),
+	}
+}
+
+// NewHoltWintersFromState rebuilds a Holt-Winters model bit-identical to
+// the exported one. The period must be valid (≥ 2), as NewHoltWinters
+// enforces at construction.
+func NewHoltWintersFromState(st HoltWintersState) (*HoltWinters, error) {
+	if st.Period < 2 {
+		return nil, fmt.Errorf("forecast: Holt-Winters state has period %d (< 2)", st.Period)
+	}
+	return &HoltWinters{
+		alpha: st.Alpha, beta: st.Beta, gamma: st.Gamma, period: st.Period,
+		level: st.Level, trend: st.Trend,
+		seasonal: append([]float64(nil), st.Seasonal...),
+		history:  append([]float64(nil), st.History...),
+		ready:    st.Ready, step: st.Step, et: errTrackerFromState(st.Err),
+	}, nil
+}
+
+// AdaptiveState is the durable image of the composite production
+// forecaster: all three candidates, so model selection resumes exactly
+// where it was.
+type AdaptiveState struct {
+	SES SESState         `json:"ses"`
+	DES DESState         `json:"des"`
+	HW  HoltWintersState `json:"hw"`
+}
+
+// State exports the composite.
+func (a *Adaptive) State() AdaptiveState {
+	return AdaptiveState{SES: a.ses.State(), DES: a.des.State(), HW: a.hw.State()}
+}
+
+// NewAdaptiveFromState rebuilds the composite bit-identical to the
+// exported one.
+func NewAdaptiveFromState(st AdaptiveState) (*Adaptive, error) {
+	hw, err := NewHoltWintersFromState(st.HW)
+	if err != nil {
+		return nil, err
+	}
+	return &Adaptive{ses: NewSESFromState(st.SES), des: NewDESFromState(st.DES), hw: hw}, nil
+}

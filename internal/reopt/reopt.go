@@ -13,6 +13,29 @@ import (
 	"repro/internal/yield"
 )
 
+// ObservedPeak is one slice's §2.2.2 max-aggregated epoch peak, the exact
+// value fed to its forecast tracker. Logged (internal/wal) so recovery can
+// re-feed trackers without the monitor store, which is not durable.
+type ObservedPeak struct {
+	Name string  `json:"name"`
+	Peak float64 `json:"peak"`
+}
+
+// StepLog is the controller's durability hook, implemented by internal/wal.
+// It captures the two step inputs that are DERIVED from the ephemeral
+// monitor store — settled yield entries and observed demand peaks — so
+// replay needs no store at all. Both appends are buffered; they become
+// durable with the step's round fsync (admission.RoundLog.SyncRound).
+type StepLog interface {
+	// AppendSettle records the realized-yield entries booked for an ended
+	// epoch (not called when nothing settled).
+	AppendSettle(domain string, epoch int, entries []yield.Entry) error
+	// AppendObserve records the full alive set and the observed peaks of
+	// one step. Appended every step even when both are empty: the alive
+	// set drives tracker garbage collection, which must replay exactly.
+	AppendObserve(domain string, epoch int, alive []string, peaks []ObservedPeak) error
+}
+
 // Config wires a Controller to its domain.
 type Config struct {
 	// Engine is the admission engine whose domain the loop drives. Required.
@@ -50,6 +73,17 @@ type Config struct {
 	// before lifecycles advance — the ctrlplane programs the data plane
 	// here. A non-nil error aborts the step.
 	OnRound func(*admission.Round) error
+
+	// Log, when set, makes the step's store-derived inputs durable so a
+	// crashed loop replays bit-identically (internal/wal). Pair it with
+	// admission.Config.Log on the same WAL store.
+	Log StepLog
+	// Snapshot, when set with SnapshotEvery > 0, is called after every
+	// SnapshotEvery-th step with the controller's durable state; the WAL
+	// layer persists it (alongside engine and ledger state) and compacts
+	// the log behind it. A non-nil error fails the step.
+	Snapshot      func(ControllerState) error
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -161,7 +195,9 @@ func (c *Controller) Step() (*StepReport, error) {
 	rep := &StepReport{Domain: c.cfg.Domain, Epoch: c.epoch}
 
 	// 1. settle: score the just-ended epoch's samples against the
-	// reservations that served it, booking realized yield.
+	// reservations that served it, booking realized yield. The entries are
+	// computed first, logged (they derive from the non-durable store, so
+	// replay needs them verbatim), and only then booked.
 	if c.prev != nil {
 		for _, m := range c.prev.members {
 			as := yield.NewAssessment(m.SLA.RateMbps)
@@ -176,11 +212,17 @@ func (c *Controller) Step() (*StepReport, error) {
 			if as.Samples() == 0 {
 				continue // nothing monitored: nothing to settle
 			}
-			e := as.Entry(m.Name, c.prev.epoch, m.SLA.Reward, m.SLA.Penalty)
+			rep.Settled = append(rep.Settled, as.Entry(m.Name, c.prev.epoch, m.SLA.Reward, m.SLA.Penalty))
+		}
+		if c.cfg.Log != nil && len(rep.Settled) > 0 {
+			if err := c.cfg.Log.AppendSettle(c.cfg.Domain, c.prev.epoch, rep.Settled); err != nil {
+				return nil, fmt.Errorf("reopt: wal append settle: %w", err)
+			}
+		}
+		for _, e := range rep.Settled {
 			c.cfg.Ledger.Book(e)
-			rep.Settled = append(rep.Settled, e)
 			c.cfg.Store.Add(monitor.Sample{
-				Slice: m.Name, Metric: "yield_realized", Element: c.cfg.Domain,
+				Slice: e.Slice, Metric: "yield_realized", Element: c.cfg.Domain,
 				Epoch: c.prev.epoch, Value: e.Realized,
 			})
 		}
@@ -207,15 +249,10 @@ func (c *Controller) Step() (*StepReport, error) {
 		prevTotals[m.Name] = totalOf(m.Reserved)
 	}
 	reoptNow := c.cfg.ReoptEvery > 0 && c.epoch%c.cfg.ReoptEvery == 0
-	var ups []admission.ForecastUpdate
-	alive := map[string]bool{}
+	alive := make([]string, 0, len(committed))
+	var peaks []ObservedPeak
 	for _, m := range committed {
-		alive[m.Name] = true
-		tr := c.trackers[m.Name]
-		if tr == nil {
-			tr = forecast.NewAdaptive(c.cfg.Alpha, c.cfg.Beta, c.cfg.Gamma, c.cfg.HWPeriod)
-			c.trackers[m.Name] = tr
-		}
+		alive = append(alive, m.Name)
 		if c.epoch > 0 {
 			// The §2.2.2 max-aggregation over the slice's own per-BS
 			// series, via the same keyed reads settle uses — the observe
@@ -229,19 +266,24 @@ func (c *Controller) Step() (*StepReport, error) {
 				}
 			}
 			if ok {
-				tr.Observe(peak)
-				rep.Observed++
+				peaks = append(peaks, ObservedPeak{Name: m.Name, Peak: peak})
 			}
 		}
-		if reoptNow {
-			lh, sg := forecast.ViewHorizon(tr, m.SLA.RateMbps, c.cfg.Pad, c.cfg.Horizon)
-			ups = append(ups, admission.ForecastUpdate{Name: m.Name, LambdaHat: lh, Sigma: sg})
+	}
+	// Logged every step, empty or not: the alive set drives tracker GC
+	// below, and GC must replay exactly (departed names may be reused).
+	if c.cfg.Log != nil {
+		if err := c.cfg.Log.AppendObserve(c.cfg.Domain, c.epoch, alive, peaks); err != nil {
+			return nil, fmt.Errorf("reopt: wal append observe: %w", err)
 		}
 	}
-	// Trackers of departed slices die with them (names may be reused).
-	for name := range c.trackers {
-		if !alive[name] {
-			delete(c.trackers, name)
+	c.applyObserve(alive, peaks)
+	rep.Observed = len(peaks)
+	var ups []admission.ForecastUpdate
+	if reoptNow {
+		for _, m := range committed {
+			lh, sg := forecast.ViewHorizon(c.trackers[m.Name], m.SLA.RateMbps, c.cfg.Pad, c.cfg.Horizon)
+			ups = append(ups, admission.ForecastUpdate{Name: m.Name, LambdaHat: lh, Sigma: sg})
 		}
 	}
 	if len(ups) > 0 {
@@ -282,7 +324,40 @@ func (c *Controller) Step() (*StepReport, error) {
 	}
 	rep.Expired = expired
 	c.epoch++
+
+	// 5. snapshot, at the step boundary: the WAL layer persists the state
+	// and compacts the log behind it. Running after the epoch advance means
+	// a snapshot always captures a whole number of completed steps.
+	if c.cfg.Snapshot != nil && c.cfg.SnapshotEvery > 0 && c.epoch%c.cfg.SnapshotEvery == 0 {
+		if err := c.cfg.Snapshot(c.exportStateLocked()); err != nil {
+			return nil, fmt.Errorf("reopt: snapshot at epoch %d: %w", c.epoch, err)
+		}
+	}
 	return rep, nil
+}
+
+// applyObserve is the tracker side of the observe phase, shared verbatim by
+// the live step and WAL replay: ensure every alive slice has a tracker,
+// feed the observed peaks, and garbage-collect trackers of departed slices
+// (names may be reused).
+func (c *Controller) applyObserve(alive []string, peaks []ObservedPeak) {
+	aliveSet := make(map[string]bool, len(alive))
+	for _, n := range alive {
+		aliveSet[n] = true
+		if c.trackers[n] == nil {
+			c.trackers[n] = forecast.NewAdaptive(c.cfg.Alpha, c.cfg.Beta, c.cfg.Gamma, c.cfg.HWPeriod)
+		}
+	}
+	for _, p := range peaks {
+		if tr := c.trackers[p.Name]; tr != nil {
+			tr.Observe(p.Peak)
+		}
+	}
+	for name := range c.trackers {
+		if !aliveSet[name] {
+			delete(c.trackers, name)
+		}
+	}
 }
 
 // Run drives Step on a wall-clock cadence until the context ends — the

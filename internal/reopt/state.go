@@ -1,0 +1,148 @@
+package reopt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/forecast"
+	"repro/internal/yield"
+
+	"repro/internal/admission"
+)
+
+// This file is the controller's crash-recovery surface (used by
+// internal/wal): ExportState/RestoreState move the recoverable loop state —
+// epoch clock, forecast trackers, the in-force reservation snapshot the
+// next settle scores against — in and out of a durable image, and the
+// Replay* methods re-apply logged step records in order. Replay reuses the
+// exact code paths the live step runs (applyObserve, Ledger.Book,
+// CommittedDetail), which is what makes recovered state bit-identical
+// rather than approximately equal.
+
+// TrackerState is one slice's forecaster in a ControllerState, keyed by
+// slice name.
+type TrackerState struct {
+	Name  string                 `json:"name"`
+	State forecast.AdaptiveState `json:"state"`
+}
+
+// InForceState is the durable image of the reservation snapshot the next
+// step settles against.
+type InForceState struct {
+	Epoch   int                        `json:"epoch"`
+	Members []admission.CommittedSlice `json:"members,omitempty"`
+}
+
+// ControllerState is the durable image of a Controller between steps.
+type ControllerState struct {
+	Domain string `json:"domain"`
+	// Epoch is the next epoch Step would run.
+	Epoch int `json:"epoch"`
+	// Trackers holds every live forecaster, sorted by name so equal
+	// controllers export byte-equal states.
+	Trackers []TrackerState `json:"trackers,omitempty"`
+	// Prev is the in-force snapshot (nil before the first step).
+	Prev *InForceState `json:"prev,omitempty"`
+}
+
+// ExportState captures the controller's recoverable state. Call it between
+// steps; the snapshot path does (Config.Snapshot fires at a step boundary,
+// under the step lock).
+func (c *Controller) ExportState() ControllerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exportStateLocked()
+}
+
+func (c *Controller) exportStateLocked() ControllerState {
+	st := ControllerState{Domain: c.cfg.Domain, Epoch: c.epoch}
+	names := make([]string, 0, len(c.trackers))
+	for n := range c.trackers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st.Trackers = append(st.Trackers, TrackerState{Name: n, State: c.trackers[n].State()})
+	}
+	if c.prev != nil {
+		p := &InForceState{Epoch: c.prev.epoch}
+		p.Members = append(p.Members, c.prev.members...)
+		st.Prev = p
+	}
+	return st
+}
+
+// RestoreState rehydrates a freshly constructed controller (epoch 0, no
+// trackers) from an exported state; restore happens once, before replay and
+// before the first live step.
+func (c *Controller) RestoreState(st ControllerState) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != 0 || len(c.trackers) != 0 || c.prev != nil {
+		return fmt.Errorf("reopt: controller already has state; restore must precede stepping")
+	}
+	if st.Domain != c.cfg.Domain {
+		return fmt.Errorf("reopt: restoring state of domain %q into controller for %q", st.Domain, c.cfg.Domain)
+	}
+	for _, ts := range st.Trackers {
+		tr, err := forecast.NewAdaptiveFromState(ts.State)
+		if err != nil {
+			return fmt.Errorf("reopt: tracker %q: %w", ts.Name, err)
+		}
+		c.trackers[ts.Name] = tr
+	}
+	c.epoch = st.Epoch
+	if st.Prev != nil {
+		c.prev = &inForce{epoch: st.Prev.Epoch}
+		c.prev.members = append(c.prev.members, st.Prev.Members...)
+	}
+	return nil
+}
+
+// ReplaySettle re-books one logged settle record. The entries were computed
+// by the crashed run from its monitor store, so booking them verbatim
+// reproduces the realized side of the ledger without any store at all.
+func (c *Controller) ReplaySettle(entries []yield.Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range entries {
+		c.cfg.Ledger.Book(e)
+	}
+}
+
+// ReplayObserve re-applies one logged observe record: tracker creation,
+// peak feeding and garbage collection, exactly as the live step did. The
+// logged epoch is checked against the controller's clock; a mismatch means
+// log and snapshot diverged and recovery must stop.
+func (c *Controller) ReplayObserve(epoch int, alive []string, peaks []ObservedPeak) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		return fmt.Errorf("reopt: replaying observe for epoch %d but controller is at epoch %d — log and snapshot diverged", epoch, c.epoch)
+	}
+	c.applyObserve(alive, peaks)
+	return nil
+}
+
+// ReplayRoundDone runs the live step's post-round bookkeeping after the
+// engine replayed a round: snapshot what is now in force, so the epoch the
+// replayed round opened settles correctly on the next step (live or
+// replayed).
+func (c *Controller) ReplayRoundDone() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	after, err := c.cfg.Engine.CommittedDetail(c.cfg.Domain)
+	if err != nil {
+		return err
+	}
+	c.prev = &inForce{epoch: c.epoch, members: after}
+	return nil
+}
+
+// ReplayAdvanced ticks the controller's epoch clock after the engine
+// replayed an advance record, completing one replayed step.
+func (c *Controller) ReplayAdvanced() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+}

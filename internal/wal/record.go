@@ -1,0 +1,112 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/admission"
+	"repro/internal/reopt"
+	"repro/internal/yield"
+)
+
+// Record kinds, one per logged step input. See the package comment for the
+// full contract of each.
+const (
+	KindRound     = "round"
+	KindForecasts = "forecasts"
+	KindAdvance   = "advance"
+	KindObserve   = "observe"
+	KindSettle    = "settle"
+)
+
+// Record is one logged step input. Kind selects which fields are
+// meaningful; the rest stay zero and are omitted from the payload.
+type Record struct {
+	Kind   string `json:"kind"`
+	Domain string `json:"domain"`
+
+	// round: the decided batch, already in canonical sorted order, under
+	// the domain's round sequence number.
+	Seq   uint64              `json:"seq,omitempty"`
+	Batch []admission.Request `json:"batch,omitempty"`
+
+	// forecasts: the views pushed into the engine.
+	Forecasts []admission.ForecastUpdate `json:"forecasts,omitempty"`
+
+	// observe / settle: the step epoch, the full alive set and observed
+	// peaks (observe), the booked yield entries (settle).
+	Epoch   int                  `json:"epoch,omitempty"`
+	Alive   []string             `json:"alive,omitempty"`
+	Peaks   []reopt.ObservedPeak `json:"peaks,omitempty"`
+	Entries []yield.Entry        `json:"entries,omitempty"`
+}
+
+// ErrTorn marks a frame that cannot be decoded: short header, payload
+// running past the buffer, CRC mismatch, oversized length, or a payload
+// that is not a record. At the tail of the last segment this is the
+// expected residue of a crash and is truncated away; anywhere else it is
+// corruption.
+var ErrTorn = errors.New("wal: torn or corrupt record")
+
+// maxRecordBytes bounds a frame's payload; anything larger is a torn
+// length field, not a real record (a round batch is a few KB).
+const maxRecordBytes = 16 << 20
+
+// frameHeaderBytes is the fixed prefix: uint32 payload length + uint32
+// CRC-32C, both little-endian.
+const frameHeaderBytes = 8
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support on
+// both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame renders one record as a length-prefixed, CRC-guarded frame.
+func encodeFrame(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("wal: record payload %d bytes exceeds cap %d", len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderBytes+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderBytes:], payload)
+	return frame, nil
+}
+
+// decodeFrame decodes the frame at the head of buf, returning the record
+// and the frame's total size. io.EOF means buf is empty (a clean end);
+// ErrTorn means the bytes present do not form a whole valid frame.
+func decodeFrame(buf []byte) (Record, int, error) {
+	if len(buf) == 0 {
+		return Record{}, 0, io.EOF
+	}
+	if len(buf) < frameHeaderBytes {
+		return Record{}, 0, ErrTorn
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	if n > maxRecordBytes {
+		return Record{}, 0, ErrTorn
+	}
+	end := frameHeaderBytes + int(n)
+	if len(buf) < end {
+		return Record{}, 0, ErrTorn
+	}
+	payload := buf[frameHeaderBytes:end]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return Record{}, 0, ErrTorn
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		// A CRC-valid frame that is not a record can only come from a
+		// writer bug or deliberate corruption; refuse it the same way.
+		return Record{}, 0, ErrTorn
+	}
+	return rec, end, nil
+}

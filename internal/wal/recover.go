@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/admission"
+	"repro/internal/reopt"
+	"repro/internal/yield"
+)
+
+// Target is the freshly constructed live state Recover rebuilds into: an
+// engine with its domains added but NOT started (replay rounds run
+// synchronously on the recovery goroutine), an optional controller for the
+// domain it drives, and the shared ledger.
+type Target struct {
+	Engine *admission.Engine
+	// Controller receives controller state, settle/observe replay, and
+	// post-round bookkeeping for ControllerDomain. Optional (engine-only
+	// deployments log no settle/observe records).
+	Controller *reopt.Controller
+	// ControllerDomain is the domain Controller drives; empty means
+	// admission.DefaultDomain.
+	ControllerDomain string
+	// Ledger is the shared yield account (also the controller's). Restored
+	// from the snapshot; replayed rounds and settles then re-book on top.
+	Ledger *yield.Ledger
+}
+
+// Report summarizes one recovery.
+type Report struct {
+	// SnapshotLSN is the restored snapshot's position (0 when recovery
+	// started from an empty state).
+	SnapshotLSN uint64
+	// Applied counts replayed records; Rounds the rounds among them.
+	Applied int
+	Rounds  int
+	// HeldBack counts trailing records whose step's round never became
+	// durable; they were physically truncated and the step re-runs live.
+	HeldBack int
+	// CompletedAdvance lists domains whose final logged step had a durable
+	// round but no advance; recovery completed (and re-logged) the tick.
+	CompletedAdvance []string
+}
+
+// Recover rebuilds live state from what Open found: restore the snapshot,
+// replay the committed log suffix through the real engine/controller code
+// paths, truncate the uncommitted tail, and deterministically complete a
+// trailing half-finished step. After it returns, the target serves exactly
+// as the crashed process would have.
+func Recover(s *Store, rec *Recovered, t Target) (*Report, error) {
+	if t.Engine == nil {
+		return nil, fmt.Errorf("wal: recovery needs an engine")
+	}
+	if t.ControllerDomain == "" {
+		t.ControllerDomain = admission.DefaultDomain
+	}
+	ctrlFor := func(domain string) *reopt.Controller {
+		if t.Controller != nil && domain == t.ControllerDomain {
+			return t.Controller
+		}
+		return nil
+	}
+	rep := &Report{}
+
+	if rec.Snapshot != nil {
+		rep.SnapshotLSN = rec.Snapshot.LSN
+		if t.Ledger != nil {
+			t.Ledger.RestoreState(rec.Snapshot.Ledger)
+		}
+		for _, ds := range rec.Snapshot.Domains {
+			if err := t.Engine.RestoreDomain(ds); err != nil {
+				return nil, err
+			}
+		}
+		if t.Controller != nil {
+			for _, cs := range rec.Snapshot.Controllers {
+				if cs.Domain == t.ControllerDomain {
+					if err := t.Controller.RestoreState(cs); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Hold-back: settle/observe/forecasts records are a step's prefix; they
+	// commit only when the step's round made it durable behind them. A
+	// trailing prefix without its round was never acked to anyone — drop it
+	// physically, and the interrupted step re-runs live after recovery.
+	records := rec.Records
+	lastRound := make(map[string]int)
+	for i, pr := range records {
+		if pr.Rec.Kind == KindRound {
+			lastRound[pr.Rec.Domain] = i
+		}
+	}
+	heldBack := func(i int) bool {
+		switch records[i].Rec.Kind {
+		case KindSettle, KindObserve, KindForecasts:
+			li, ok := lastRound[records[i].Rec.Domain]
+			return !ok || li < i
+		}
+		return false // rounds are the commit points; advances follow their round
+	}
+	firstHeld := -1
+	for i := range records {
+		if heldBack(i) {
+			firstHeld = i
+			break
+		}
+	}
+	if firstHeld >= 0 {
+		for j := firstHeld; j < len(records); j++ {
+			if !heldBack(j) {
+				// Only possible when several domains interleave in one log
+				// and one domain's committed records landed after another's
+				// uncommitted prefix. The in-tree deployments are one
+				// domain per log, where the uncommitted prefix is always
+				// the physical tail.
+				return nil, fmt.Errorf("wal: committed record at LSN %d after uncommitted tail starting at LSN %d (multi-domain interleave); cannot truncate", records[j].LSN, records[firstHeld].LSN)
+			}
+		}
+		if err := s.TruncateTail(records[firstHeld].LSN); err != nil {
+			return nil, err
+		}
+		rep.HeldBack = len(records) - firstHeld
+		records = records[:firstHeld]
+	}
+
+	// Replay, through the same code paths a live step runs.
+	s.BeginRecovery()
+	lastKind := make(map[string]string)
+	for _, pr := range records {
+		r := pr.Rec
+		var err error
+		switch r.Kind {
+		case KindSettle:
+			if c := ctrlFor(r.Domain); c != nil {
+				c.ReplaySettle(r.Entries)
+			} else if t.Ledger != nil {
+				for _, e := range r.Entries {
+					t.Ledger.Book(e)
+				}
+			}
+		case KindObserve:
+			if c := ctrlFor(r.Domain); c != nil {
+				err = c.ReplayObserve(r.Epoch, r.Alive, r.Peaks)
+			}
+		case KindForecasts:
+			err = t.Engine.UpdateForecasts(r.Domain, r.Forecasts)
+		case KindRound:
+			// A returned round may carry a solver error; the original round
+			// failed identically and decided nothing, so replay continues.
+			if _, err = t.Engine.ReplayRound(r.Domain, r.Seq, r.Batch); err == nil {
+				rep.Rounds++
+				if c := ctrlFor(r.Domain); c != nil {
+					err = c.ReplayRoundDone()
+				}
+			}
+		case KindAdvance:
+			if _, err = t.Engine.Advance(r.Domain); err == nil {
+				if c := ctrlFor(r.Domain); c != nil {
+					c.ReplayAdvanced()
+				}
+			}
+		default:
+			err = fmt.Errorf("wal: unknown record kind %q", r.Kind)
+		}
+		if err != nil {
+			s.EndRecovery()
+			return nil, fmt.Errorf("wal: replay at LSN %d: %w", pr.LSN, err)
+		}
+		lastKind[r.Domain] = r.Kind
+		rep.Applied++
+	}
+	s.EndRecovery()
+
+	// A trailing round without its advance: the round's outcomes were
+	// acked, so the step must finish — deterministically, and logged (the
+	// recovering flag is already cleared), exactly as the crashed process
+	// would have finished it.
+	var complete []string
+	for domain, k := range lastKind {
+		if k == KindRound {
+			complete = append(complete, domain)
+		}
+	}
+	sort.Strings(complete)
+	for _, domain := range complete {
+		if _, err := t.Engine.Advance(domain); err != nil {
+			return nil, fmt.Errorf("wal: completing advance for domain %q: %w", domain, err)
+		}
+		if c := ctrlFor(domain); c != nil {
+			c.ReplayAdvanced()
+		}
+		rep.CompletedAdvance = append(rep.CompletedAdvance, domain)
+	}
+	return rep, nil
+}
+
+// BuildSnapshot composes the durable image of the running control plane:
+// every named engine domain, the given controller states, and the shared
+// ledger. The caller must hold whatever serializes steps (the controller's
+// Snapshot callback does, firing under the step lock at a step boundary).
+func BuildSnapshot(eng *admission.Engine, domains []string, ctrls []reopt.ControllerState, led *yield.Ledger) (*Snapshot, error) {
+	snap := &Snapshot{Controllers: ctrls}
+	for _, d := range domains {
+		ds, err := eng.ExportDomain(d)
+		if err != nil {
+			return nil, err
+		}
+		snap.Domains = append(snap.Domains, ds)
+	}
+	if led != nil {
+		snap.Ledger = led.ExportState()
+	}
+	return snap, nil
+}

@@ -183,6 +183,65 @@ func (l *Ledger) BookExpected(source string, v float64) {
 	l.expectedRounds++
 }
 
+// ExpectedTotal is one booking source's accumulated expected revenue in a
+// LedgerState.
+type ExpectedTotal struct {
+	Source string  `json:"source"`
+	Value  float64 `json:"value"`
+}
+
+// LedgerState is the durable image of a Ledger, the form the crash-recovery
+// snapshot (internal/wal) persists: per-slice totals and per-source expected
+// accumulators, each sorted by key so two equal ledgers export byte-equal
+// states.
+type LedgerState struct {
+	PerSlice       []SliceTotals   `json:"per_slice,omitempty"`
+	Expected       []ExpectedTotal `json:"expected,omitempty"`
+	ExpectedRounds int             `json:"expected_rounds"`
+}
+
+// ExportState captures the ledger's full account.
+func (l *Ledger) ExportState() LedgerState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LedgerState{ExpectedRounds: l.expectedRounds}
+	names := make([]string, 0, len(l.perSlice))
+	for n := range l.perSlice {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st.PerSlice = append(st.PerSlice, *l.perSlice[n])
+	}
+	sources := make([]string, 0, len(l.expected))
+	for src := range l.expected {
+		sources = append(sources, src)
+	}
+	sort.Strings(sources)
+	for _, src := range sources {
+		st.Expected = append(st.Expected, ExpectedTotal{Source: src, Value: l.expected[src]})
+	}
+	return st
+}
+
+// RestoreState replaces the ledger's account with the exported one. A
+// ledger restored from a state and the ledger that exported it snapshot
+// identically.
+func (l *Ledger) RestoreState(st LedgerState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.perSlice = make(map[string]*SliceTotals, len(st.PerSlice))
+	for i := range st.PerSlice {
+		cp := st.PerSlice[i]
+		l.perSlice[cp.Slice] = &cp
+	}
+	l.expected = make(map[string]float64, len(st.Expected))
+	for _, e := range st.Expected {
+		l.expected[e.Source] = e.Value
+	}
+	l.expectedRounds = st.ExpectedRounds
+}
+
 // Snapshot returns the current account, per-slice lines sorted by name.
 func (l *Ledger) Snapshot() Summary {
 	l.mu.Lock()

@@ -50,4 +50,36 @@ curl -fsS 127.0.0.1:18080/yield > /dev/null
 kill -TERM "$OVNES"
 wait "$OVNES"
 trap - EXIT
+
+# The durability walkthrough: hard-kill ovnes mid-run and require the
+# restarted process to serve the identical yield ledger out of the WAL.
+# Driven by explicit POST /epoch (no -epoch-every) so the pre-kill and
+# post-recovery ledgers are comparable byte for byte.
+echo "smoke: ovnes kill/restart recovery"
+DATA=/tmp/ovnes-smoke-data
+rm -rf "$DATA"
+start_durable() {
+  /tmp/ovnes-smoke -listen 127.0.0.1:18084 -collector 127.0.0.1:16347 \
+    -data-dir "$DATA" &
+  OVNES=$!
+  trap 'kill "$OVNES" 2>/dev/null || true' EXIT
+  for i in $(seq 1 40); do
+    curl -fsS 127.0.0.1:18084/epoch > /dev/null 2>&1 && break
+    sleep 0.25
+  done
+}
+start_durable
+curl -fsS -X POST 127.0.0.1:18084/requests -d \
+  '{"name":"u1","request":{"name":"u1","type":"eMBB","duration_epochs":12}}' > /dev/null
+for i in 1 2 3; do curl -fsS -X POST 127.0.0.1:18084/epoch > /dev/null; done
+curl -fsS 127.0.0.1:18084/yield > /tmp/ovnes-yield-before.json
+kill -9 "$OVNES"
+wait "$OVNES" 2>/dev/null || true
+start_durable
+curl -fsS 127.0.0.1:18084/yield > /tmp/ovnes-yield-after.json
+diff -u /tmp/ovnes-yield-before.json /tmp/ovnes-yield-after.json
+kill -TERM "$OVNES"
+wait "$OVNES"
+trap - EXIT
+rm -rf "$DATA" /tmp/ovnes-yield-before.json /tmp/ovnes-yield-after.json
 echo "smoke: quickstart OK"
