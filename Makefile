@@ -3,12 +3,13 @@
 
 GO ?= go
 
-# Minimum total statement coverage `make cover` enforces. Measured 81.8%
-# when the floor was introduced; the floor leaves headroom for noise while
-# catching wholesale test deletions or big untested subsystems.
-COVER_FLOOR ?= 75
+# Minimum total statement coverage `make cover` enforces. Measured 76.2%
+# at the PR 7 ratchet (cmd/* and examples/* mains count at 0%, which drags
+# the total well below per-package numbers); the 1pt slack absorbs noise
+# while catching wholesale test deletions or big untested subsystems.
+COVER_FLOOR ?= 75.2
 
-.PHONY: build test test-race vet fmt-check lint bench bench-smoke bench-json bench-compare fuzz-smoke recover-check cover docs-check links-check smoke clean ci
+.PHONY: build test test-race vet fmt-check lint bench bench-smoke bench-json bench-compare fuzz-smoke hunt-smoke recover-check cover docs-check links-check smoke clean ci
 
 build:
 	$(GO) build ./...
@@ -105,6 +106,20 @@ fuzz-smoke:
 		done; \
 	done
 
+# hunt-smoke is the adversarial-regression gate: CI-sized seed sweeps of
+# the closed loop vs the static-reservation baseline (`scenario hunt`) on
+# a heavy-tail workload — where small closed-loop regressions are known to
+# exist — and on an outage archetype, where the closed loop must win
+# outright (a regression under faults would be a real control bug, and the
+# sweep would surface the seed). The committed reproducer then replays and
+# must still regress: hunt determinism, pinned bit for bit.
+HUNT_SEEDS ?= 8
+
+hunt-smoke:
+	$(GO) run ./cmd/scenario hunt -name heavy-tail -tenants 4 -epochs 12 -seeds $(HUNT_SEEDS) -seed 1
+	$(GO) run ./cmd/scenario hunt -name outage -tenants 4 -epochs 10 -seeds 4 -seed 1
+	$(GO) run ./cmd/scenario hunt -replay docs/reproducers/heavy-tail-ci.json
+
 # recover-check is the crash-recovery gate: the kill-and-replay suite in
 # internal/wal hard-kills the control plane at randomized epoch boundaries
 # and requires the recovered decision trace, yield ledger and tracker
@@ -150,12 +165,17 @@ clean:
 	rm -f coverage.out bench.raw cpu.out mem.out *.pprof *.prof
 	rm -rf ovnes-data
 
-# cover enforces the statement-coverage floor over the whole module.
+# cover enforces the statement-coverage floor over the whole module. The
+# empty-total guard fails loudly if `go tool cover -func` ever changes its
+# output shape — an unparsed total must read as "gate broken", never as
+# "coverage fine".
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	if [ -z "$$total" ]; then \
+		echo "cover: could not parse the total from 'go tool cover -func' (output format changed?)"; exit 1; fi; \
 	echo "total statement coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
 	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN{exit !(t>=f)}' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-ci: build vet fmt-check lint docs-check links-check test-race cover fuzz-smoke recover-check smoke bench-json bench-compare
+ci: build vet fmt-check lint docs-check links-check test-race cover fuzz-smoke recover-check hunt-smoke smoke bench-json bench-compare

@@ -9,7 +9,12 @@
 //
 //	loadgen [-scenario flash-crowd] [-seed 42] [-domains 8] [-shards 0]
 //	        [-epochs 0] [-tenants 0] [-algo ""] [-queue 1024] [-tenant-cap 0]
-//	        [-reoffer] [-mode drift] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	        [-reoffer] [-mode drift] [-trace demand.json]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -trace replays a recorded demand file (JSON/CSV, see internal/traffic)
+// as every class's load shape, so the closed/static modes can be driven by
+// real measured traffic instead of the archetype's synthetic shapes.
 //
 // -cpuprofile/-memprofile capture pprof profiles of the run (the solver
 // dominates); see EXPERIMENTS.md "Profiling the solver" for the workflow.
@@ -40,6 +45,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -71,6 +77,7 @@ func main() {
 		tenantCap = flag.Int("tenant-cap", 0, "per-tenant fairness cap (0 = queue depth)")
 		reoffer   = flag.Bool("reoffer", false, "re-offer rejected requests every epoch")
 		mode      = flag.String("mode", "drift", "forecast feed: drift | closed | static")
+		trace     = flag.String("trace", "", "replay a recorded demand file (JSON/CSV) as every class's load")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -100,6 +107,17 @@ func main() {
 	}
 	if *algo != "" {
 		spec.Algorithm = *algo
+	}
+	if *trace != "" {
+		data, err := os.ReadFile(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tf, err := traffic.DecodeTrace(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = scenario.WithTrace(spec, tf)
 	}
 	if *shards <= 0 {
 		*shards = runtime.NumCPU()

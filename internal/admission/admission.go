@@ -200,6 +200,12 @@ type RoundLog interface {
 	AppendForecasts(domain string, ups []ForecastUpdate) error
 	// AppendAdvance records one epoch tick of the domain's lifecycle clock.
 	AppendAdvance(domain string) error
+	// AppendTopology records a batch of capacity events applied to the
+	// domain's live network (ApplyTopology fsyncs it before mutating).
+	AppendTopology(domain string, events []topology.Event) error
+	// AppendHandover records a committed slice moving between domains
+	// (Handover fsyncs it before mutating either domain).
+	AppendHandover(fromDomain, toDomain, name string) error
 	// SyncRound makes everything appended so far durable; called once per
 	// round, before the round's outcomes are acked.
 	SyncRound() error

@@ -81,8 +81,9 @@ type member struct {
 
 // domain is one operator domain: its solver state lives on exactly one
 // shard; the batch buffer is guarded by Engine.mu, the solver state by dmu.
-// The two locks are never held together (engine-wide rule), so there is no
-// lock ordering to get wrong.
+// Engine.mu and a dmu are never held together (engine-wide rule). The one
+// place two dmus are held at once is Handover, which always takes them in
+// domain-name order, so there is no ordering to get wrong elsewhere.
 type domain struct {
 	name   string
 	cfg    DomainConfig
@@ -100,6 +101,12 @@ type domain struct {
 	byName    map[string]*member
 	solveFn   func(*core.Instance) (*core.Decision, error)
 	rounds    uint64
+	// curNet is the network rounds currently solve against: cfg.Net with
+	// every ApplyTopology event folded in (topoEvents, in arrival order).
+	// A topology event swaps the pointer, which the warm solver treats as
+	// a shape change — the next round rebuilds cold, by design.
+	curNet     *topology.Network
+	topoEvents []topology.Event
 }
 
 // New builds an engine; AddDomain then Start before submitting.
@@ -137,6 +144,7 @@ func (e *Engine) AddDomain(name string, dc DomainConfig) error {
 		paths:  dc.Net.Paths(dc.KPaths),
 		names:  map[string]bool{},
 		byName: map[string]*member{},
+		curNet: dc.Net,
 	}
 	d.filter = newPrefilter(dc, d.paths)
 	switch dc.Algorithm {
@@ -464,6 +472,164 @@ func (e *Engine) Advance(domainName string) ([]string, error) {
 	return expired, nil
 }
 
+// ApplyTopology folds epoch-boundary capacity events (BS outage/recovery,
+// degradation, operator join/leave) into the domain's live network. Events
+// accumulate in arrival order on top of the base network the domain was
+// added with; the next round solves against the new capacities and — the
+// pointer having changed — rebuilds its solver cold, the safe path for a
+// shape change. Structure never changes (events scale capacities only), so
+// the precomputed path sets and the prefilter stay valid; the prefilter
+// keeps screening against published capacity, which is advisory anyway —
+// the solver is authoritative. The events are logged and fsynced before
+// the state mutates, so kill-and-replay reproduces the same capacity
+// trajectory bit for bit.
+func (e *Engine) ApplyTopology(domainName string, events []topology.Event) error {
+	d, err := e.domain(domainName)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	d.dmu.Lock()
+	defer d.dmu.Unlock()
+	merged := make([]topology.Event, 0, len(d.topoEvents)+len(events))
+	merged = append(merged, d.topoEvents...)
+	merged = append(merged, events...)
+	net, err := topology.Apply(d.cfg.Net, merged)
+	if err != nil {
+		return fmt.Errorf("admission: %w", err)
+	}
+	if e.cfg.Log != nil {
+		// Durable before visible, like a round: a topology change alters
+		// every subsequent decision, so it must survive a crash that any
+		// later acked round survives.
+		if lerr := e.cfg.Log.AppendTopology(d.name, events); lerr != nil {
+			return fmt.Errorf("admission: wal append topology: %w", lerr)
+		}
+		if lerr := e.cfg.Log.SyncRound(); lerr != nil {
+			return fmt.Errorf("admission: wal sync topology: %w", lerr)
+		}
+	}
+	d.topoEvents = merged
+	d.curNet = net
+	return nil
+}
+
+// TopologyEvents returns the domain's accumulated capacity events in the
+// order they were applied (a copy).
+func (e *Engine) TopologyEvents(domainName string) ([]topology.Event, error) {
+	d, err := e.domain(domainName)
+	if err != nil {
+		return nil, err
+	}
+	d.dmu.Lock()
+	defer d.dmu.Unlock()
+	return append([]topology.Event(nil), d.topoEvents...), nil
+}
+
+// Handover moves one committed slice between domains, preserving its ledger
+// identity: the member object — name, tenant, SLA, forecast view, remaining
+// lifetime, reservations — transfers intact; only the shard that solves for
+// it changes. Both domains must share the slice's structural frame (same BS
+// count, a valid CU index and path choices in the destination), the normal
+// case for handover between overlapping operator footprints built from the
+// same published topology. The move is logged and fsynced before any state
+// mutates. This is the one engine path that holds two domain locks; they
+// are always taken in domain-name order.
+func (e *Engine) Handover(fromDomain, toDomain, name string) error {
+	if fromDomain == "" {
+		fromDomain = DefaultDomain
+	}
+	if toDomain == "" {
+		toDomain = DefaultDomain
+	}
+	if name == "" {
+		return fmt.Errorf("admission: handover needs a slice name")
+	}
+	if fromDomain == toDomain {
+		return fmt.Errorf("admission: handover source and destination are both %q", fromDomain)
+	}
+	e.mu.Lock()
+	if e.state == stateStopped {
+		e.mu.Unlock()
+		return ErrStopped
+	}
+	from, to := e.domains[fromDomain], e.domains[toDomain]
+	if from == nil {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownDomain, fromDomain)
+	}
+	if to == nil {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownDomain, toDomain)
+	}
+	if to.names[name] {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q already present in domain %q", ErrDuplicate, name, toDomain)
+	}
+	// Reserve the name in the destination before dropping the intake lock;
+	// released again on any failure below.
+	to.names[name] = true
+	e.mu.Unlock()
+
+	first, second := from, to
+	if second.name < first.name {
+		first, second = second, first
+	}
+	first.dmu.Lock()
+	second.dmu.Lock()
+	fail := func(err error) error {
+		second.dmu.Unlock()
+		first.dmu.Unlock()
+		e.mu.Lock()
+		delete(to.names, name)
+		e.mu.Unlock()
+		return err
+	}
+	m := from.byName[name]
+	if m == nil {
+		return fail(fmt.Errorf("admission: no committed slice %q in domain %q", name, fromDomain))
+	}
+	if nbs := to.cfg.Net.NumBS(); len(m.reserved) != nbs {
+		return fail(fmt.Errorf("admission: handover %q: reservation spans %d BSs, domain %q has %d",
+			name, len(m.reserved), toDomain, nbs))
+	}
+	if m.cu < 0 || m.cu >= to.cfg.Net.NumCU() {
+		return fail(fmt.Errorf("admission: handover %q: CU %d not present in domain %q", name, m.cu, toDomain))
+	}
+	for b, pi := range m.pathIdx {
+		if pi < 0 || pi >= len(to.paths[b][m.cu]) {
+			return fail(fmt.Errorf("admission: handover %q: path %d not available at BS %d in domain %q",
+				name, pi, b, toDomain))
+		}
+	}
+	if e.cfg.Log != nil {
+		if lerr := e.cfg.Log.AppendHandover(fromDomain, toDomain, name); lerr != nil {
+			return fail(fmt.Errorf("admission: wal append handover: %w", lerr))
+		}
+		if lerr := e.cfg.Log.SyncRound(); lerr != nil {
+			return fail(fmt.Errorf("admission: wal sync handover: %w", lerr))
+		}
+	}
+	delete(from.byName, name)
+	for i, mm := range from.committed {
+		if mm == m {
+			from.committed = append(from.committed[:i], from.committed[i+1:]...)
+			break
+		}
+	}
+	to.committed = append(to.committed, m)
+	to.byName[name] = m
+	second.dmu.Unlock()
+	first.dmu.Unlock()
+
+	e.mu.Lock()
+	delete(from.names, name)
+	e.mu.Unlock()
+	return nil
+}
+
 // Paths returns the domain's precomputed k-shortest path sets — the same
 // P_{b,c} enumeration the rounds solve against, shared so callers (the
 // ctrlplane programming path) need not recompute it. Read-only.
@@ -663,7 +829,7 @@ func (e *Engine) execRound(job *roundJob) {
 		dec = &core.Decision{} // nothing to decide, nothing to re-optimize
 	default:
 		inst := &core.Instance{
-			Net: d.cfg.Net, Paths: d.paths, Tenants: specs,
+			Net: d.curNet, Paths: d.paths, Tenants: specs,
 			Overbook: d.cfg.overbook(), BigM: d.cfg.BigM, RiskHorizon: d.cfg.RiskHorizon,
 		}
 		dec, err = d.solveFn(inst)

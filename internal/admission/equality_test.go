@@ -12,6 +12,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/slice"
+	"repro/internal/topology"
 )
 
 // equalityEpochs caps the replayed horizon: 10 epochs cover every archetype
@@ -88,6 +89,10 @@ func requestsOf(cfg sim.Config) []refRequest {
 func serialReplay(t *testing.T, cfg sim.Config, reqs []refRequest, algorithm string, reoffer bool) []string {
 	t.Helper()
 	paths := cfg.Net.Paths(cfg.KPaths)
+	sched, err := topology.NewSchedule(cfg.Net, cfg.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var solve func(inst *core.Instance) (*core.Decision, error)
 	switch algorithm {
 	case "benders":
@@ -130,7 +135,7 @@ func serialReplay(t *testing.T, cfg sim.Config, reqs []refRequest, algorithm str
 		var dec *core.Decision
 		if len(specs) > 0 {
 			inst := &core.Instance{
-				Net: cfg.Net, Paths: paths, Tenants: specs,
+				Net: sched.At(epoch), Paths: paths, Tenants: specs,
 				Overbook: algorithm != "no-overbooking", BigM: 1e4,
 			}
 			var err error
@@ -184,6 +189,16 @@ func engineReplay(t *testing.T, cfg sim.Config, reqs []refRequest, algorithm str
 	}
 	defer e.Stop()
 
+	// The engine receives the same capacity trajectory as the serial
+	// reference's schedule: the epoch-sorted event stream, delivered at each
+	// epoch boundary via ApplyTopology (set semantics make the accumulated
+	// stream equal to the schedule's prefix at every epoch).
+	sched, err := topology.NewSchedule(cfg.Net, cfg.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortedEvents := sched.Events()
+
 	type live struct {
 		req refRequest
 		tk  *Ticket
@@ -191,6 +206,17 @@ func engineReplay(t *testing.T, cfg sim.Config, reqs []refRequest, algorithm str
 	var inflight []live
 	var lines []string
 	for epoch := 0; epoch < equalityEpochs; epoch++ {
+		var fire []topology.Event
+		for _, ev := range sortedEvents {
+			if ev.Epoch == epoch {
+				fire = append(fire, ev)
+			}
+		}
+		if len(fire) > 0 {
+			if err := e.ApplyTopology("", fire); err != nil {
+				t.Fatal(err)
+			}
+		}
 		var offer []refRequest
 		for _, r := range reqs {
 			if r.arrival == epoch {

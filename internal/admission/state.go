@@ -2,6 +2,8 @@ package admission
 
 import (
 	"fmt"
+
+	"repro/internal/topology"
 )
 
 // This file is the engine's crash-recovery surface (used by internal/wal):
@@ -21,6 +23,9 @@ type DomainState struct {
 	Name      string           `json:"name"`
 	Rounds    uint64           `json:"rounds"`
 	Committed []CommittedSlice `json:"committed,omitempty"`
+	// TopoEvents is the accumulated capacity-event stream (ApplyTopology,
+	// in application order); restore re-derives the live network from it.
+	TopoEvents []topology.Event `json:"topo_events,omitempty"`
 }
 
 // ExportDomain captures the domain's recoverable state. Safe to call
@@ -34,7 +39,8 @@ func (e *Engine) ExportDomain(domainName string) (DomainState, error) {
 	}
 	d.dmu.Lock()
 	defer d.dmu.Unlock()
-	st := DomainState{Name: d.name, Rounds: d.rounds}
+	st := DomainState{Name: d.name, Rounds: d.rounds,
+		TopoEvents: append([]topology.Event(nil), d.topoEvents...)}
 	for _, m := range d.committed {
 		st.Committed = append(st.Committed, CommittedSlice{
 			Name: m.name, Tenant: m.tenant, SLA: m.sla,
@@ -57,9 +63,18 @@ func (e *Engine) RestoreDomain(st DomainState) error {
 		return err
 	}
 	d.dmu.Lock()
-	if d.rounds != 0 || len(d.committed) != 0 {
+	if d.rounds != 0 || len(d.committed) != 0 || len(d.topoEvents) != 0 {
 		d.dmu.Unlock()
 		return fmt.Errorf("admission: domain %q already has state; restore must precede serving", d.name)
+	}
+	if len(st.TopoEvents) > 0 {
+		net, err := topology.Apply(d.cfg.Net, st.TopoEvents)
+		if err != nil {
+			d.dmu.Unlock()
+			return fmt.Errorf("admission: restore domain %q: %w", d.name, err)
+		}
+		d.topoEvents = append([]topology.Event(nil), st.TopoEvents...)
+		d.curNet = net
 	}
 	for _, cs := range st.Committed {
 		m := &member{

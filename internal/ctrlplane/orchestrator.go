@@ -308,6 +308,41 @@ func (o *Orchestrator) Handler() http.Handler {
 	mux.HandleFunc("GET /slices", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, o.Statuses())
 	})
+	mux.HandleFunc("POST /topology", func(w http.ResponseWriter, r *http.Request) {
+		var events []topology.Event
+		if err := decodeBody(w, r, &events); err != nil {
+			httpBodyError(w, err)
+			return
+		}
+		if err := o.ApplyTopology(events); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"applied": len(events)})
+	})
+	mux.HandleFunc("GET /topology", func(w http.ResponseWriter, r *http.Request) {
+		events, err := o.eng.TopologyEvents(admission.DefaultDomain)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if events == nil {
+			events = []topology.Event{}
+		}
+		writeJSON(w, http.StatusOK, events)
+	})
+	mux.HandleFunc("POST /handover", func(w http.ResponseWriter, r *http.Request) {
+		var req HandoverRequest
+		if err := decodeBody(w, r, &req); err != nil {
+			httpBodyError(w, err)
+			return
+		}
+		if err := o.eng.Handover(req.From, req.To, req.Name); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "handed over", "slice": req.Name})
+	})
 	mux.HandleFunc("GET /epoch", func(w http.ResponseWriter, r *http.Request) {
 		o.mu.Lock()
 		e := o.epoch
@@ -331,6 +366,26 @@ func (o *Orchestrator) Handler() http.Handler {
 type MetricsReport struct {
 	admission.Snapshot
 	Yield yield.Summary `json:"yield"`
+}
+
+// HandoverRequest is the POST /handover payload: move one committed slice
+// from one admission domain to another, preserving its ledger identity.
+// Empty From addresses the orchestrator's default domain.
+type HandoverRequest struct {
+	From string `json:"from,omitempty"`
+	To   string `json:"to"`
+	Name string `json:"name"`
+}
+
+// ApplyTopology injects capacity events (outage, degradation, recovery,
+// CU churn) into the default domain. Each event sets an element's capacity
+// factor relative to the BASE topology, so a later factor-1 event restores
+// it exactly; subsequent rounds re-solve against the degraded network while
+// committed reservations stay pinned (deficit-relaxed if now infeasible).
+// With durability enabled the events are fsynced to the WAL before any
+// state changes, so kill-and-replay recovers the degraded capacity too.
+func (o *Orchestrator) ApplyTopology(events []topology.Event) error {
+	return o.eng.ApplyTopology(admission.DefaultDomain, events)
 }
 
 // Yield returns the orchestrator's live revenue account.

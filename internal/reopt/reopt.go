@@ -210,7 +210,11 @@ func (c *Controller) Step() (*StepReport, error) {
 				}
 			}
 			if as.Samples() == 0 {
-				continue // nothing monitored: nothing to settle
+				// Nothing monitored: nothing to settle. This is also how a
+				// slice handed over to another domain mid-epoch drops out
+				// naturally — its samples land under the destination domain's
+				// store, so the source books no yield for it.
+				continue
 			}
 			rep.Settled = append(rep.Settled, as.Entry(m.Name, c.prev.epoch, m.SLA.Reward, m.SLA.Penalty))
 		}

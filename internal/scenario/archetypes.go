@@ -1,6 +1,21 @@
 package scenario
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// RecordedDayMbps is the committed demand recording the trace-replay
+// archetype replays: one day of per-epoch eMBB load in Mb/s, mean ≈ 15
+// (matching α=0.3 of the 50 Mb/s template so reservations and replayed
+// load agree). Committed as a literal so CI needs no data file; the codec
+// path (`scenario run -trace`, `loadgen -trace`) reads the same shape from
+// JSON/CSV.
+var RecordedDayMbps = []float64{
+	7, 6, 5, 5, 6, 8, 11, 14, 17, 19, 21, 22,
+	23, 22, 21, 20, 19, 18, 19, 21, 22, 18, 13, 9,
+}
 
 // Archetypes returns the built-in scenario suite: one Spec per workload
 // family the system must handle, all runnable from `scenario run` with any
@@ -83,6 +98,79 @@ func Archetypes() []Spec {
 			Tenants: 6, Epochs: 24,
 			Arrivals:  Arrivals{Kind: Poisson, RatePerEpoch: 1},
 			Classes:   []Class{{Type: "eMBB", Alpha: 0.25, SigmaFrac: 0.5, Penalty: 2, Shape: "heavy-tail"}},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
+			Name: "outage",
+			Description: "adversarial: BS 1 goes dark at epoch 3 and recovers at epoch 6 — committed slices ride " +
+				"the big-M deficit through the hole while the warm solver re-solves under shrunken capacity",
+			Topology: "Romanian", NBS: 4,
+			Tenants: 8, Epochs: 24, HWPeriod: 8,
+			Arrivals: Arrivals{Kind: Batch},
+			Classes:  []Class{{Type: "eMBB", Alpha: 0.3, SigmaFrac: 0.25, Penalty: 1}},
+			Faults: Faults{Script: []topology.Event{
+				topology.BSOutage(3, 1),
+				topology.BSRecover(6, 1),
+			}},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
+			Name: "degradation",
+			Description: "adversarial: a backhaul-wide brownout ramps every link down to 40% over four epochs " +
+				"while new tenants keep arriving — admission must tighten without dropping committed slices",
+			Topology: "Swiss", NBS: 4,
+			Tenants: 8, Epochs: 24,
+			Arrivals: Arrivals{Kind: Bursty, BurstSize: 2, BurstPeriod: 2},
+			Classes:  []Class{{Type: "eMBB", Alpha: 0.25, SigmaFrac: 0.25, Penalty: 1}},
+			Faults: Faults{Ramps: []Ramp{
+				{BS: -1, StartEpoch: 2, Steps: 4, Floor: 0.4},
+			}},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
+			Name: "churn",
+			Description: "adversarial: the core CU operator leaves the federation at epoch 2 and rejoins at 7, " +
+				"with one seeded-random BS outage on top — sustained capacity churn under Poisson arrivals",
+			Topology: "Romanian", NBS: 4,
+			Tenants: 6, Epochs: 24,
+			Arrivals: Arrivals{Kind: Poisson, RatePerEpoch: 1},
+			Classes:  []Class{{Type: "eMBB", Alpha: 0.25, SigmaFrac: 0.25, Penalty: 1}},
+			Faults: Faults{
+				Script: []topology.Event{
+					topology.CULeave(2, 1),
+					topology.CUJoin(7, 1),
+				},
+				RandomOutages: 1, OutageEpochs: 2,
+			},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
+			Name: "handover",
+			Description: "adversarial: the edge CU leaves at epoch 3 and returns at epoch 7, forcing compute onto " +
+				"the core site — the sim-level face of slice handover (the admission engine's Handover rebinds a " +
+				"committed slice across domains with its ledger identity intact; see EXPERIMENTS.md)",
+			Topology: "Italian", NBS: 4,
+			Tenants: 6, Epochs: 24, HWPeriod: 8,
+			Arrivals: Arrivals{Kind: Batch},
+			Classes: []Class{
+				{Name: "mobile", Type: "uRLLC", Alpha: 0.4, SigmaFrac: 0.2, Penalty: 4},
+				{Name: "bg", Type: "eMBB", Alpha: 0.25, SigmaFrac: 0.25, Penalty: 1},
+			},
+			Faults: Faults{Script: []topology.Event{
+				topology.CULeave(3, 0),
+				topology.CUJoin(7, 0),
+			}},
+			Algorithm: "benders", ReofferPending: true,
+		},
+		{
+			Name: "trace-replay",
+			Description: "recorded demand: every tenant replays the committed day trace at a seed-derived rotation " +
+				"— bit-reproducible load with real diurnal structure, no synthetic process in the loop",
+			Topology: "Romanian", NBS: 4,
+			Tenants: 6, Epochs: 24, HWPeriod: 8,
+			Arrivals: Arrivals{Kind: Batch},
+			Classes: []Class{{Type: "eMBB", Alpha: 0.3, SigmaFrac: 0.25, Penalty: 1,
+				Shape: "trace", TraceMbps: RecordedDayMbps}},
 			Algorithm: "benders", ReofferPending: true,
 		},
 	}

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// faults.go is the declarative face of the adversarial topology layer: a
+// Spec names what goes wrong (scripted events, degradation ramps, seeded
+// random outages) and Compile expands it into the epoch-boundary
+// topology.Event stream the simulator and admission engine consume. The
+// expansion draws from the scenario RNG *after* the arrival and class-slot
+// draws, so adding faults to a spec never perturbs the tenant population an
+// existing seed produces.
+
+// Ramp is a staircase capacity degradation: Steps equal decrements starting
+// at StartEpoch, one per epoch, ending at Floor × the published capacity.
+// Each step emits an absolute factor (topology events set, they don't
+// compose), so a ramp reads back deterministically from any replay point.
+type Ramp struct {
+	// BS targets one base station's radio capacity; -1 targets the transport
+	// network instead (every link at once — a backhaul-wide brownout).
+	BS         int
+	StartEpoch int
+	// Steps is the staircase length in epochs; default 3.
+	Steps int
+	// Floor is the terminal capacity multiplier; default 0.5, must be in [0,1).
+	Floor float64
+}
+
+// expand emits the ramp's per-epoch events.
+func (r Ramp) expand() []topology.Event {
+	steps := r.Steps
+	if steps <= 0 {
+		steps = 3
+	}
+	floor := r.Floor
+	if floor == 0 {
+		floor = 0.5
+	}
+	out := make([]topology.Event, 0, steps)
+	for i := 0; i < steps; i++ {
+		f := 1 - (1-floor)*float64(i+1)/float64(steps)
+		if r.BS < 0 {
+			out = append(out, topology.LinkDegrade(r.StartEpoch+i, -1, f))
+		} else {
+			out = append(out, topology.BSDegrade(r.StartEpoch+i, r.BS, f))
+		}
+	}
+	return out
+}
+
+// Faults declares the adversarial topology dynamics of a scenario.
+type Faults struct {
+	// Script is applied verbatim (epoch-sorted by the schedule): scripted
+	// outages, recoveries, operator join/leave.
+	Script []topology.Event
+	// Ramps are staircase degradations, expanded into Script-like events.
+	Ramps []Ramp
+	// RandomOutages adds this many seeded-random BS outage/recovery pairs:
+	// a uniform BS goes dark at a uniform epoch in [1, Epochs-2] and
+	// recovers OutageEpochs later (if still inside the horizon).
+	RandomOutages int
+	// OutageEpochs is each random outage's duration; default 2.
+	OutageEpochs int
+}
+
+// empty reports whether the spec declares no dynamics at all.
+func (f Faults) empty() bool {
+	return len(f.Script) == 0 && len(f.Ramps) == 0 && f.RandomOutages <= 0
+}
+
+// expand turns the declaration into the concrete event stream for a network
+// with nBS base stations over the given horizon, drawing random outages
+// from rng. Callers must invoke it after every other Compile draw so the
+// pre-fault RNG stream — and with it every existing archetype's tenant
+// population — stays byte-identical.
+func (f Faults) expand(nBS, epochs int, rng *rand.Rand) []topology.Event {
+	if f.empty() {
+		return nil
+	}
+	var out []topology.Event
+	out = append(out, f.Script...)
+	for _, r := range f.Ramps {
+		out = append(out, r.expand()...)
+	}
+	dur := f.OutageEpochs
+	if dur <= 0 {
+		dur = 2
+	}
+	for k := 0; k < f.RandomOutages; k++ {
+		bs := rng.Intn(nBS)
+		span := epochs - 2
+		if span < 1 {
+			span = 1
+		}
+		start := 1 + rng.Intn(span)
+		out = append(out, topology.BSOutage(start, bs))
+		if end := start + dur; end < epochs {
+			out = append(out, topology.BSRecover(end, bs))
+		}
+	}
+	return out
+}
+
+// validate checks the declarative fields that don't need a topology; the
+// expanded events are checked against the real network by Compile (via
+// topology.NewSchedule) and by Spec.Validate.
+func (f Faults) validate(name string) error {
+	for _, r := range f.Ramps {
+		if r.StartEpoch < 0 {
+			return fmt.Errorf("scenario %s: ramp start epoch %d is negative", name, r.StartEpoch)
+		}
+		if r.Steps < 0 {
+			return fmt.Errorf("scenario %s: ramp steps %d is negative", name, r.Steps)
+		}
+		if r.Floor < 0 || r.Floor >= 1 {
+			if r.Floor != 0 { // 0 = default 0.5
+				return fmt.Errorf("scenario %s: ramp floor %v outside [0,1)", name, r.Floor)
+			}
+		}
+	}
+	if f.RandomOutages < 0 {
+		return fmt.Errorf("scenario %s: RandomOutages %d is negative", name, f.RandomOutages)
+	}
+	if f.OutageEpochs < 0 {
+		return fmt.Errorf("scenario %s: OutageEpochs %d is negative", name, f.OutageEpochs)
+	}
+	return nil
+}

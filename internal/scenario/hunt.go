@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// hunt.go is the adversarial search mode: sweep seeds of a spec, run the
+// closed-loop system and the static-reservation baseline on the identical
+// compiled world (same tenants, same traffic, same faults), and report the
+// seeds where the closed loop realizes LESS revenue than the baseline it
+// exists to beat. Each hit round-trips through a reproducer file so a CI
+// hit becomes a committed regression test, in the refinement-checker
+// tradition: the spec space itself is the adversary, the baseline the
+// checked reference.
+
+// HuntResult is one seed's closed-vs-static comparison.
+type HuntResult struct {
+	Seed int64 `json:"seed"`
+	// Closed and Static are the two runs' realized total revenue.
+	Closed float64 `json:"closed"`
+	Static float64 `json:"static"`
+	// Regression is Static − Closed; positive means the closed loop lost
+	// to the baseline on this seed.
+	Regression float64 `json:"regression"`
+}
+
+// Regressed reports whether the closed loop lost to the static baseline.
+func (h HuntResult) Regressed() bool { return h.Regression > 0 }
+
+// huntSeed runs both arms on one seed. The compiled config is identical in
+// every respect but Config.StaticReservations, so any revenue gap is the
+// control policy's alone.
+func huntSeed(spec Spec, seed int64) (HuntResult, error) {
+	cfg, err := spec.Compile(seed)
+	if err != nil {
+		return HuntResult{}, err
+	}
+	closed, err := sim.Run(cfg)
+	if err != nil {
+		return HuntResult{}, fmt.Errorf("scenario hunt: seed %d closed arm: %w", seed, err)
+	}
+	cfg.StaticReservations = true
+	static, err := sim.Run(cfg)
+	if err != nil {
+		return HuntResult{}, fmt.Errorf("scenario hunt: seed %d static arm: %w", seed, err)
+	}
+	return HuntResult{
+		Seed:       seed,
+		Closed:     closed.TotalRevenue,
+		Static:     static.TotalRevenue,
+		Regression: static.TotalRevenue - closed.TotalRevenue,
+	}, nil
+}
+
+// Hunt sweeps seeds [start, start+count) over a bounded worker pool and
+// returns every seed's comparison in seed order (identical at any worker
+// count — internal/parallel semantics). Callers filter with Regressed.
+func Hunt(spec Spec, start int64, count, workers int) ([]HuntResult, error) {
+	return parallel.Map(count, workers, func(i int) (HuntResult, error) {
+		return huntSeed(spec, start+int64(i))
+	})
+}
+
+// Reproducer is the committed form of one hunt hit: the full spec and the
+// seed, everything needed to replay the regression bit for bit.
+type Reproducer struct {
+	Spec Spec       `json:"spec"`
+	Seed int64      `json:"seed"`
+	Hit  HuntResult `json:"hit"`
+}
+
+// EncodeReproducer renders a hit as the JSON reproducer file `scenario
+// hunt -out` writes and `scenario hunt -replay` reads.
+func EncodeReproducer(r Reproducer) ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode reproducer: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeReproducer parses a reproducer file and validates its spec.
+func DecodeReproducer(data []byte) (Reproducer, error) {
+	var r Reproducer
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Reproducer{}, fmt.Errorf("scenario: decode reproducer: %w", err)
+	}
+	if err := r.Spec.withDefaults().Validate(); err != nil {
+		return Reproducer{}, err
+	}
+	return r, nil
+}
+
+// Replay re-runs a reproducer's two arms and returns the fresh comparison;
+// the caller asserts Regressed() still holds (the committed-hit CI check).
+func (r Reproducer) Replay() (HuntResult, error) {
+	return huntSeed(r.Spec, r.Seed)
+}

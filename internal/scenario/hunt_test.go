@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// huntSpec is the CI-sized heavy-tail spec the committed reproducer uses:
+// small enough that a two-arm seed costs ~20ms, adversarial enough that
+// most seeds regress (rare log-normal peaks make the closed loop pay
+// violation penalties the full-SLA static baseline never risks).
+func huntSpec(t *testing.T) Spec {
+	t.Helper()
+	spec, err := ByName("heavy-tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Tenants = 4
+	spec.Epochs = 12
+	return spec
+}
+
+func TestHuntFindsHeavyTailRegressions(t *testing.T) {
+	spec := huntSpec(t)
+	results, err := Hunt(spec, 1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	foundHit := false
+	for i, r := range results {
+		if r.Seed != 1+int64(i) {
+			t.Fatalf("result %d carries seed %d, want %d (seed order broken)", i, r.Seed, 1+i)
+		}
+		if got := r.Static - r.Closed; got != r.Regression {
+			t.Fatalf("seed %d: Regression %v != Static-Closed %v", r.Seed, r.Regression, got)
+		}
+		if r.Regressed() != (r.Regression > 0) {
+			t.Fatalf("seed %d: Regressed() disagrees with the sign of %v", r.Seed, r.Regression)
+		}
+		if r.Regressed() {
+			foundHit = true
+		}
+	}
+	if !foundHit {
+		t.Fatalf("no regression among seeds 1..3 — the committed reproducer's workload no longer regresses: %+v", results)
+	}
+
+	// Worker-count invariance: the hunt is a determinism surface like any
+	// other sweep — serial and parallel runs must agree bit for bit.
+	serial, err := Hunt(spec, 1, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results, serial) {
+		t.Fatalf("parallel hunt diverged from serial:\nparallel: %+v\nserial:   %+v", results, serial)
+	}
+}
+
+func TestReproducerRoundTripAndReplay(t *testing.T) {
+	spec := huntSpec(t)
+	results, err := Hunt(spec, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := results[0]
+	if !hit.Regressed() {
+		t.Fatalf("seed 1 must regress for this pin: %+v", hit)
+	}
+	data, err := EncodeReproducer(Reproducer{Spec: spec, Seed: hit.Seed, Hit: hit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DecodeReproducer(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hit {
+		t.Fatalf("replay diverged from the committed hit:\ncommitted: %+v\nreplayed:  %+v", hit, got)
+	}
+}
+
+func TestDecodeReproducerRejects(t *testing.T) {
+	if _, err := DecodeReproducer([]byte("{not json")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+	// A structurally valid file whose spec fails strict validation.
+	spec := huntSpec(t)
+	spec.Classes = nil
+	data, err := EncodeReproducer(Reproducer{Spec: spec, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeReproducer(data); err == nil ||
+		!strings.Contains(err.Error(), "class") {
+		t.Fatalf("accepted a reproducer with an invalid spec (err=%v)", err)
+	}
+}
+
+func TestWithTrace(t *testing.T) {
+	tf := &traffic.TraceFile{SamplesPerEpoch: 3, Samples: []float64{5, 7, 9}}
+	s := validSpec()
+	s.SamplesPerEpoch = 0
+	origShape := s.Classes[0].Shape
+
+	out := WithTrace(s, tf)
+	for i, c := range out.Classes {
+		if c.Shape != "trace" {
+			t.Fatalf("class %d shape %q, want trace", i, c.Shape)
+		}
+		if !reflect.DeepEqual(c.TraceMbps, tf.Samples) {
+			t.Fatalf("class %d samples %v, want %v", i, c.TraceMbps, tf.Samples)
+		}
+	}
+	if out.SamplesPerEpoch != 3 {
+		t.Fatalf("unset cadence not adopted from the file: %d", out.SamplesPerEpoch)
+	}
+	// Copy semantics: the caller's spec must be untouched.
+	if s.Classes[0].Shape != origShape || s.Classes[0].TraceMbps != nil {
+		t.Fatalf("WithTrace mutated the input spec's classes: %+v", s.Classes[0])
+	}
+	// An explicit spec cadence wins over the file's.
+	s.SamplesPerEpoch = 7
+	if out := WithTrace(s, tf); out.SamplesPerEpoch != 7 {
+		t.Fatalf("explicit cadence overridden: %d", out.SamplesPerEpoch)
+	}
+	// The rebound spec must still compile and validate.
+	if err := WithTrace(s, tf).Validate(); err != nil {
+		t.Fatalf("traced spec fails validation: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/slice"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 // ArrivalKind selects the arrival process of a Spec.
@@ -79,9 +80,12 @@ type Class struct {
 	Alpha     float64 // λ̄ = α·Λ
 	SigmaFrac float64 // σ = SigmaFrac·λ̄ (forced 0 for mMTC, as in Table 1)
 	Penalty   float64 // m, K = m·R; default 1
-	Shape     string  // "gaussian" (default) | "diurnal" | "heavy-tail"
+	Shape     string  // "gaussian" (default) | "diurnal" | "heavy-tail" | "trace"
 	// Duration overrides the slice lifetime in epochs; 0 = whole run.
 	Duration int
+	// TraceMbps is the recorded load sequence Shape "trace" replays (each
+	// tenant reads the shared recording at a seed-derived rotation).
+	TraceMbps []float64
 }
 
 // Spec is a complete declarative scenario.
@@ -96,6 +100,10 @@ type Spec struct {
 	Epochs   int
 	Arrivals Arrivals
 	Classes  []Class
+
+	// Faults declares the adversarial topology dynamics (outages, ramps,
+	// churn); the zero value means a static topology, as before.
+	Faults Faults
 
 	Algorithm       string // "direct" | "benders" | "kac" | "no-overbooking"
 	KPaths          int
@@ -157,8 +165,28 @@ func parseShape(name string) (sim.LoadShape, error) {
 		return sim.ShapeDiurnal, nil
 	case "heavy-tail":
 		return sim.ShapeHeavyTail, nil
+	case "trace":
+		return sim.ShapeTrace, nil
 	}
 	return 0, fmt.Errorf("scenario: unknown load shape %q", name)
+}
+
+// WithTrace returns the spec with every class replaying the recorded demand
+// file instead of its synthetic load shape (the trace-replay arrival mode
+// `scenario run -trace` and `loadgen -trace` share). The class slice is
+// copied, so the caller's archetype definition is untouched; the file's
+// cadence is adopted only when the spec leaves SamplesPerEpoch unset.
+func WithTrace(s Spec, tf *traffic.TraceFile) Spec {
+	classes := append([]Class(nil), s.Classes...)
+	for i := range classes {
+		classes[i].Shape = "trace"
+		classes[i].TraceMbps = tf.Samples
+	}
+	s.Classes = classes
+	if tf.SamplesPerEpoch > 0 && s.SamplesPerEpoch == 0 {
+		s.SamplesPerEpoch = tf.SamplesPerEpoch
+	}
+	return s
 }
 
 // HomogeneousSpecs builds n identical batch-arrival requests of one type —
@@ -186,6 +214,76 @@ func HomogeneousSpecs(ty slice.Type, n int, alpha, sigmaFrac, m float64, seed in
 		}
 	}
 	return specs
+}
+
+// Validate checks a spec strictly, with no defaults applied: what Compile
+// quietly fills in (zero epochs, zero tenants, zero k-paths), Validate
+// rejects, so a hand-written or machine-emitted spec file that relies on
+// accidental zero values fails early with a named reason. Compile stays
+// lenient — the archetypes and tests lean on its defaulting.
+func (s Spec) Validate() error {
+	if s.Epochs <= 0 {
+		return fmt.Errorf("scenario %s: Epochs %d must be positive", s.Name, s.Epochs)
+	}
+	if s.Tenants <= 0 {
+		return fmt.Errorf("scenario %s: Tenants %d must be positive", s.Name, s.Tenants)
+	}
+	if s.KPaths <= 0 {
+		return fmt.Errorf("scenario %s: KPaths %d must be positive", s.Name, s.KPaths)
+	}
+	if s.SamplesPerEpoch < 0 {
+		return fmt.Errorf("scenario %s: SamplesPerEpoch %d is negative", s.Name, s.SamplesPerEpoch)
+	}
+	net, err := BuildTopology(s.Topology, s.NBS)
+	if err != nil {
+		return err
+	}
+	if _, err := ParseAlgorithm(s.Algorithm); err != nil {
+		return err
+	}
+	a := s.Arrivals
+	if a.Kind < Batch || a.Kind > FlashCrowd {
+		return fmt.Errorf("scenario %s: unknown arrival kind %v", s.Name, a.Kind)
+	}
+	if a.RatePerEpoch < 0 {
+		return fmt.Errorf("scenario %s: RatePerEpoch %v is negative", s.Name, a.RatePerEpoch)
+	}
+	if a.Epoch < 0 || a.SpikeEpoch < 0 || a.SpikeSize < 0 || a.SpikeDuration < 0 ||
+		a.BurstSize < 0 || a.BurstPeriod < 0 {
+		return fmt.Errorf("scenario %s: negative arrival parameter in %+v", s.Name, a)
+	}
+	if len(s.Classes) == 0 {
+		return fmt.Errorf("scenario %s: needs at least one class", s.Name)
+	}
+	for _, c := range s.Classes {
+		if _, err := SliceTypeByName(c.Type); err != nil {
+			return err
+		}
+		shape, err := parseShape(c.Shape)
+		if err != nil {
+			return err
+		}
+		if shape == sim.ShapeTrace && len(c.TraceMbps) == 0 {
+			return fmt.Errorf("scenario %s: class %s uses shape trace but has no TraceMbps samples", s.Name, c.label())
+		}
+		if c.Alpha < 0 || c.SigmaFrac < 0 || c.Penalty < 0 || c.Weight < 0 || c.Duration < 0 {
+			return fmt.Errorf("scenario %s: class %s has a negative parameter (alpha=%v sigmaFrac=%v penalty=%v weight=%v duration=%d)",
+				s.Name, c.label(), c.Alpha, c.SigmaFrac, c.Penalty, c.Weight, c.Duration)
+		}
+	}
+	if err := s.Faults.validate(s.Name); err != nil {
+		return err
+	}
+	// Scripted events and expanded ramps must target real elements; random
+	// outages are index-safe by construction (drawn with Intn(NumBS)).
+	scripted := append([]topology.Event(nil), s.Faults.Script...)
+	for _, r := range s.Faults.Ramps {
+		scripted = append(scripted, r.expand()...)
+	}
+	if _, err := topology.NewSchedule(net, scripted); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return nil
 }
 
 func (s Spec) withDefaults() Spec {
@@ -417,6 +515,9 @@ func (s Spec) Compile(seed int64) (sim.Config, error) {
 		if err != nil {
 			return sim.Config{}, err
 		}
+		if shape == sim.ShapeTrace && len(c.TraceMbps) == 0 {
+			return sim.Config{}, fmt.Errorf("scenario %s: class %s uses shape trace but has no TraceMbps samples", s.Name, c.label())
+		}
 		tmpl := slice.Table1(ty)
 		mean := c.Alpha * tmpl.RateMbps
 		std := c.SigmaFrac * mean
@@ -445,7 +546,18 @@ func (s Spec) Compile(seed int64) (sim.Config, error) {
 			Duration:      dur,
 			Seed:          seed + int64(i)*7 + 1,
 			Shape:         shape,
+			TraceMbps:     c.TraceMbps,
 		}
+	}
+	// Fault expansion draws LAST, after every arrival/slot draw above, so a
+	// spec that adds faults reuses the exact tenant population its faultless
+	// ancestor produced under the same seed.
+	if err := s.Faults.validate(s.Name); err != nil {
+		return sim.Config{}, err
+	}
+	events := s.Faults.expand(net.NumBS(), s.Epochs, rng)
+	if _, err := topology.NewSchedule(net, events); err != nil {
+		return sim.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	return sim.Config{
 		Net:             net,
@@ -457,6 +569,7 @@ func (s Spec) Compile(seed int64) (sim.Config, error) {
 		HWPeriod:        s.HWPeriod,
 		ReofferPending:  s.ReofferPending,
 		ForecastPad:     s.ForecastPad,
+		Events:          events,
 	}, nil
 }
 

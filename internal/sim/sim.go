@@ -54,6 +54,10 @@ const (
 	// (MeanMbps, StdMbps): rare far-above-mean peaks stress the
 	// peak-tracking forecaster.
 	ShapeHeavyTail
+	// ShapeTrace replays the recorded samples in SliceSpec.TraceMbps (each
+	// BS reads the shared trace at a seed-derived rotation) instead of a
+	// synthetic process — the trace-replay arrival source.
+	ShapeTrace
 )
 
 // SliceSpec describes one tenant's request and true traffic process.
@@ -71,6 +75,9 @@ type SliceSpec struct {
 	// Diurnal switches the true load to the day-shaped profile (testbed
 	// scenario); MeanMbps is then the profile midpoint.
 	Diurnal bool
+	// TraceMbps is the recorded sample sequence ShapeTrace replays
+	// (traffic.Trace); ignored for every other shape.
+	TraceMbps []float64
 }
 
 // Config parameterizes a run.
@@ -100,6 +107,19 @@ type Config struct {
 	// Workers bounds the measurement stage's worker pool; 0 means
 	// GOMAXPROCS, 1 forces serial. Traces are bit-identical at any value.
 	Workers int
+	// Events reshapes the topology at epoch boundaries — BS outages and
+	// recoveries, capacity degradation ramps, operator join/leave
+	// (topology.Schedule semantics). Empty keeps the static published
+	// network, byte-identical to the pre-dynamics pipeline. Event epochs
+	// force a conservative cold solver rebuild (the Network pointer moves);
+	// quiet epochs stay on the warm path.
+	Events []topology.Event
+	// StaticReservations freezes every committed slice at its cold-start
+	// full-SLA view (λ̂ = Λ, σ̂ = 1) forever: forecast-driven rescaling is
+	// disabled exactly like reopt.Config.ReoptEvery < 0 disables it online.
+	// This is the static baseline the yield-regression hunter compares the
+	// closed loop against.
+	StaticReservations bool
 }
 
 func (c Config) withDefaults() Config {
@@ -269,6 +289,7 @@ type engine struct {
 	nBS    int
 	states []*tenantState
 	solver epochSolver
+	sched  *topology.Schedule // nil without Events
 
 	res             *Result
 	ledger          *yield.Ledger
@@ -310,6 +331,12 @@ func newEngine(cfg Config) (*engine, error) {
 		res:    &Result{Config: cfg},
 		ledger: yield.NewLedger(),
 	}
+	if len(cfg.Events) > 0 {
+		eng.sched, err = topology.NewSchedule(cfg.Net, cfg.Events)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 	eng.states = make([]*tenantState, len(cfg.Slices))
 	for i, sp := range cfg.Slices {
 		sla := slice.SLA{Template: sp.Template, MeanMbps: sp.MeanMbps, Duration: sp.Duration}.
@@ -340,6 +367,11 @@ func NewGenerator(cfg Config, sp SliceSpec, b int) traffic.Generator {
 		}
 	}
 	switch {
+	case shape == ShapeTrace:
+		// Every (slice, BS) pair replays the same recorded trace at a
+		// seed-derived rotation, so BSs and tenants decorrelate without
+		// drawing a single random number — replay is exact.
+		return traffic.NewTrace(sp.TraceMbps, cfg.SamplesPerEpoch, int(seed))
 	case shape == ShapeDiurnal:
 		return traffic.NewDiurnal(
 			math.Max(0, sp.MeanMbps-2*sp.StdMbps), sp.MeanMbps+2*sp.StdMbps,
@@ -355,9 +387,20 @@ func NewGenerator(cfg Config, sp SliceSpec, b int) traffic.Generator {
 
 // step runs one epoch through the four pipeline stages.
 func (e *engine) step(t int) error {
+	// The epoch's topology: the scheduled derivation when events exist
+	// (same pointer on quiet epochs, which is what keeps the warm solver
+	// session rebinding instead of rebuilding), the static network
+	// otherwise. Paths stay valid by construction — events move
+	// capacities, never structure.
+	net := e.cfg.Net
+	var bsUp []bool
+	if e.sched != nil {
+		net = e.sched.At(t)
+		bsUp = e.sched.BSUpMask(t)
+	}
 	specs, idxOf := e.assemble(t)
 	inst := &core.Instance{
-		Net: e.cfg.Net, Paths: e.paths, Tenants: specs,
+		Net: net, Paths: e.paths, Tenants: specs,
 		Overbook: e.cfg.Algorithm != NoOverbooking, BigM: 1e4,
 	}
 	dec, err := e.solver.Solve(inst)
@@ -367,7 +410,7 @@ func (e *engine) step(t int) error {
 	es := EpochStats{Epoch: t, ExpectedRevenue: dec.Revenue(),
 		DeficitCost: inst.BigM * (dec.DeficitRadio + dec.DeficitTransport + dec.DeficitCompute)}
 	e.ledger.BookExpected("sim", es.ExpectedRevenue)
-	e.measure(t, dec, idxOf, &es)
+	e.measure(t, dec, idxOf, bsUp, &es)
 	e.totalViolations += es.Violations
 	e.totalSamples += es.Samples
 	e.res.TotalRevenue += es.Revenue
@@ -393,6 +436,11 @@ func (e *engine) assemble(t int) ([]core.TenantSpec, []int) {
 			st.pending = true
 		}
 		lambdaHat, sigma := st.forecastView(e.cfg.ForecastPad)
+		if e.cfg.StaticReservations {
+			// Static baseline: forecasts never reach the solver, so
+			// committed reservations stay at the full-SLA cold-start view.
+			lambdaHat, sigma = st.sla.RateMbps, 1
+		}
 		specs = append(specs, core.TenantSpec{
 			Name:            st.spec.Name,
 			SLA:             st.sla,
@@ -412,7 +460,7 @@ func (e *engine) assemble(t int) ([]core.TenantSpec, []int) {
 // generators and forecaster, so the trace is independent of the worker
 // count — then reduces the per-tenant outcomes in deterministic tenant
 // order and advances lifecycles.
-func (e *engine) measure(t int, dec *core.Decision, idxOf []int, es *EpochStats) {
+func (e *engine) measure(t int, dec *core.Decision, idxOf []int, bsUp []bool, es *EpochStats) {
 	outcomes := make([]TenantEpoch, len(idxOf))
 	assessments := make([]*yield.Assessment, len(idxOf))
 	parallel.ForEach(len(idxOf), e.cfg.Workers, func(ti int) {
@@ -445,6 +493,13 @@ func (e *engine) measure(t int, dec *core.Decision, idxOf []int, es *EpochStats)
 		for b := 0; b < e.nBS; b++ {
 			for theta := 0; theta < e.cfg.SamplesPerEpoch; theta++ {
 				load := st.gens[b].Sample(t, theta)
+				if bsUp != nil && !bsUp[b] {
+					// A dark BS serves nothing: the sample is still drawn
+					// (the generator's stream must not depend on outage
+					// timing) but the observed load — and therefore any
+					// SLA exposure at this BS — is zero.
+					load = 0
+				}
 				if load > te.Peak[b] {
 					te.Peak[b] = load
 				}

@@ -1,0 +1,291 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// dynamics.go is the adversarial-topology layer: scripted capacity events —
+// BS outages and recoveries, degradation ramps, operators joining and
+// leaving a federation — applied at decision-epoch boundaries. An event
+// never changes the network's *structure* (node set, link set, path
+// enumeration): it sets a capacity multiplier on one element, so every
+// precomputed Path stays valid and downstream solvers see only moved
+// capacities. Outage and operator-leave are the multiplier-zero special
+// case, which the AC-RR big-M relaxation absorbs as deficit capacity
+// (committed slices stay placed, the operator "leases" the missing
+// resources) instead of an infeasible program.
+
+// EventKind selects which element class a topology event reconfigures.
+type EventKind int
+
+// Event targets.
+const (
+	// EventBS sets a base station's radio-capacity multiplier: 0 is an
+	// outage, 1 a full recovery, anything between a degradation step.
+	EventBS EventKind = iota
+	// EventLink sets a transport link's capacity multiplier; Index is the
+	// link ID, or -1 to target every link at once (a backhaul-wide ramp).
+	EventLink
+	// EventCU sets a computing unit's CPU-pool multiplier: 0 models the
+	// operator leaving the federation, 1 a (re)join at full capacity.
+	EventCU
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventBS:
+		return "bs"
+	case EventLink:
+		return "link"
+	case EventCU:
+		return "cu"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one epoch-boundary capacity change. Factor is the element's new
+// capacity multiplier relative to the BASE network — events set, they do
+// not compose — so an outage (0) followed by a recovery (1) restores the
+// published capacity exactly regardless of what happened in between.
+type Event struct {
+	Epoch  int       `json:"epoch"`
+	Kind   EventKind `json:"kind"`
+	Index  int       `json:"index"` // BS index, link ID, or CU index; -1 = all (EventLink only)
+	Factor float64   `json:"factor"`
+}
+
+// Convenience constructors for the common event shapes.
+
+// BSOutage takes base station bs down at the given epoch.
+func BSOutage(epoch, bs int) Event { return Event{Epoch: epoch, Kind: EventBS, Index: bs} }
+
+// BSRecover restores base station bs to full capacity.
+func BSRecover(epoch, bs int) Event {
+	return Event{Epoch: epoch, Kind: EventBS, Index: bs, Factor: 1}
+}
+
+// BSDegrade sets base station bs to factor × its published capacity.
+func BSDegrade(epoch, bs int, factor float64) Event {
+	return Event{Epoch: epoch, Kind: EventBS, Index: bs, Factor: factor}
+}
+
+// LinkDegrade sets link (or every link, id -1) to factor × published capacity.
+func LinkDegrade(epoch, id int, factor float64) Event {
+	return Event{Epoch: epoch, Kind: EventLink, Index: id, Factor: factor}
+}
+
+// CULeave removes computing unit cu's capacity (the operator leaves).
+func CULeave(epoch, cu int) Event { return Event{Epoch: epoch, Kind: EventCU, Index: cu} }
+
+// CUJoin restores computing unit cu to full capacity (the operator joins).
+func CUJoin(epoch, cu int) Event {
+	return Event{Epoch: epoch, Kind: EventCU, Index: cu, Factor: 1}
+}
+
+// validate checks one event against the base network.
+func (e Event) validate(n *Network) error {
+	if e.Epoch < 0 {
+		return fmt.Errorf("topology: event epoch %d is negative", e.Epoch)
+	}
+	if e.Factor < 0 {
+		return fmt.Errorf("topology: event factor %v is negative", e.Factor)
+	}
+	switch e.Kind {
+	case EventBS:
+		if e.Index < 0 || e.Index >= len(n.BSs) {
+			return fmt.Errorf("topology: BS event index %d out of range [0,%d)", e.Index, len(n.BSs))
+		}
+	case EventLink:
+		if e.Index != -1 && (e.Index < 0 || e.Index >= len(n.Links)) {
+			return fmt.Errorf("topology: link event index %d out of range [0,%d)", e.Index, len(n.Links))
+		}
+	case EventCU:
+		if e.Index < 0 || e.Index >= len(n.CUs) {
+			return fmt.Errorf("topology: CU event index %d out of range [0,%d)", e.Index, len(n.CUs))
+		}
+	default:
+		return fmt.Errorf("topology: unknown event kind %v", e.Kind)
+	}
+	return nil
+}
+
+// factors is the accumulated multiplier state of every element.
+type factors struct {
+	bs, link, cu []float64
+}
+
+func newFactors(n *Network) *factors {
+	f := &factors{
+		bs:   make([]float64, len(n.BSs)),
+		link: make([]float64, len(n.Links)),
+		cu:   make([]float64, len(n.CUs)),
+	}
+	for i := range f.bs {
+		f.bs[i] = 1
+	}
+	for i := range f.link {
+		f.link[i] = 1
+	}
+	for i := range f.cu {
+		f.cu[i] = 1
+	}
+	return f
+}
+
+// apply folds one (validated) event into the state.
+func (f *factors) apply(e Event) {
+	switch e.Kind {
+	case EventBS:
+		f.bs[e.Index] = e.Factor
+	case EventLink:
+		if e.Index == -1 {
+			for i := range f.link {
+				f.link[i] = e.Factor
+			}
+		} else {
+			f.link[e.Index] = e.Factor
+		}
+	case EventCU:
+		f.cu[e.Index] = e.Factor
+	}
+}
+
+// identity reports whether every multiplier is exactly 1 (the base network).
+func (f *factors) identity() bool {
+	for _, v := range f.bs {
+		if v != 1 {
+			return false
+		}
+	}
+	for _, v := range f.link {
+		if v != 1 {
+			return false
+		}
+	}
+	for _, v := range f.cu {
+		if v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// derive builds the scaled copy of base under f. The node set, link IDs and
+// adjacency are identical to base, so paths precomputed on base remain valid
+// routes; only the capacity fields move.
+func (f *factors) derive(base *Network) *Network {
+	d := &Network{
+		Name:  base.Name,
+		Nodes: base.Nodes,
+		Links: append([]Link(nil), base.Links...),
+		BSs:   append([]BS(nil), base.BSs...),
+		CUs:   append([]CU(nil), base.CUs...),
+	}
+	for i := range d.Links {
+		d.Links[i].CapMbps *= f.link[i]
+	}
+	for i := range d.BSs {
+		d.BSs[i].CapMHz *= f.bs[i]
+	}
+	for i := range d.CUs {
+		d.CUs[i].CPUCores *= f.cu[i]
+	}
+	d.build()
+	return d
+}
+
+// Apply folds the events (in the order given; epochs are ignored) onto base
+// and returns the resulting network — base itself when the multipliers come
+// out as all-ones, a derived copy otherwise. This is the "apply now" entry
+// point the admission engine uses; epoch-indexed callers use a Schedule.
+func Apply(base *Network, events []Event) (*Network, error) {
+	f := newFactors(base)
+	for _, e := range events {
+		if err := e.validate(base); err != nil {
+			return nil, err
+		}
+		f.apply(e)
+	}
+	if f.identity() {
+		return base, nil
+	}
+	return f.derive(base), nil
+}
+
+// Schedule replays an event stream against epochs: At(t) returns the
+// network in force during epoch t. The returned pointer is STABLE across
+// epochs with no event — deliberately, because the cross-epoch warm solver
+// treats a changed Network pointer as a shape change and rebuilds cold; a
+// schedule therefore forces exactly one conservative cold rebuild per
+// event epoch and keeps every quiet epoch on the warm path.
+type Schedule struct {
+	base   *Network
+	events []Event // sorted stably by epoch
+
+	epoch   int // epoch the cache reflects (-1 before the first At)
+	applied int // events[:applied] are folded into f
+	f       *factors
+	cur     *Network
+}
+
+// NewSchedule validates the events against base and returns a replayable
+// schedule. The event order within one epoch is preserved (later entries
+// win, matching Apply).
+func NewSchedule(base *Network, events []Event) (*Schedule, error) {
+	if base == nil {
+		return nil, fmt.Errorf("topology: schedule needs a base network")
+	}
+	for _, e := range events {
+		if err := e.validate(base); err != nil {
+			return nil, err
+		}
+	}
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Epoch < sorted[j].Epoch })
+	return &Schedule{base: base, events: sorted, epoch: -1, f: newFactors(base), cur: base}, nil
+}
+
+// At returns the network in force during epoch t: base with every event of
+// epoch <= t applied. Consecutive calls with non-decreasing epochs reuse
+// the cached derivation (same pointer when nothing fired — the warm-path
+// contract above); a smaller epoch than the last call replays the stream
+// from the start, so the schedule is usable from any deterministic driver.
+func (s *Schedule) At(epoch int) *Network {
+	if epoch < s.epoch {
+		s.f = newFactors(s.base)
+		s.cur = s.base
+		s.applied = 0
+	}
+	fired := false
+	for s.applied < len(s.events) && s.events[s.applied].Epoch <= epoch {
+		s.f.apply(s.events[s.applied])
+		s.applied++
+		fired = true
+	}
+	s.epoch = epoch
+	if fired {
+		if s.f.identity() {
+			s.cur = s.base
+		} else {
+			s.cur = s.f.derive(s.base)
+		}
+	}
+	return s.cur
+}
+
+// BSUpMask returns, for epoch t, which base stations have any radio
+// capacity left (multiplier > 0). The returned slice is a copy; the
+// measurement stage reads it from worker goroutines.
+func (s *Schedule) BSUpMask(epoch int) []bool {
+	s.At(epoch)
+	up := make([]bool, len(s.f.bs))
+	for i, v := range s.f.bs {
+		up[i] = v > 0
+	}
+	return up
+}
+
+// Events returns the schedule's validated, epoch-sorted event stream.
+func (s *Schedule) Events() []Event { return append([]Event(nil), s.events...) }

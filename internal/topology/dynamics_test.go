@@ -1,0 +1,233 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApplyScalesOnlyCapacities(t *testing.T) {
+	base := Romanian(8)
+	got, err := Apply(base, []Event{
+		BSOutage(0, 2),
+		LinkDegrade(0, 1, 0.5),
+		CULeave(0, 0),
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got == base {
+		t.Fatal("Apply with non-identity events returned the base pointer")
+	}
+	if got.BSs[2].CapMHz != 0 {
+		t.Errorf("BS 2 CapMHz = %v, want 0 after outage", got.BSs[2].CapMHz)
+	}
+	if want := base.Links[1].CapMbps * 0.5; got.Links[1].CapMbps != want {
+		t.Errorf("link 1 CapMbps = %v, want %v", got.Links[1].CapMbps, want)
+	}
+	if got.CUs[0].CPUCores != 0 {
+		t.Errorf("CU 0 CPUCores = %v, want 0 after leave", got.CUs[0].CPUCores)
+	}
+	// Structure is shared/identical: same node set, same link IDs, and the
+	// path enumeration stays congruent with base so precomputed paths on
+	// base remain valid routes on the derived network.
+	if len(got.Nodes) != len(base.Nodes) || len(got.Links) != len(base.Links) {
+		t.Fatalf("structure changed: %d/%d nodes, %d/%d links",
+			len(got.Nodes), len(base.Nodes), len(got.Links), len(base.Links))
+	}
+	for i := range base.BSs {
+		if got.BSs[i].Node != base.BSs[i].Node {
+			t.Fatalf("BS %d moved node %d -> %d", i, base.BSs[i].Node, got.BSs[i].Node)
+		}
+	}
+	// Untouched elements keep their published capacity bit for bit.
+	if got.BSs[0].CapMHz != base.BSs[0].CapMHz {
+		t.Errorf("untouched BS 0 capacity moved: %v != %v", got.BSs[0].CapMHz, base.BSs[0].CapMHz)
+	}
+	// Base is never mutated.
+	if base.BSs[2].CapMHz == 0 || base.CUs[0].CPUCores == 0 {
+		t.Fatal("Apply mutated the base network")
+	}
+}
+
+func TestApplySetsDoNotCompose(t *testing.T) {
+	base := Romanian(8)
+	// Outage then recovery must restore the published capacity exactly, and
+	// Apply must recognize the identity and hand back the base pointer.
+	got, err := Apply(base, []Event{BSOutage(1, 3), BSRecover(4, 3)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got != base {
+		t.Error("outage+recovery should collapse to the base pointer")
+	}
+	// Two degradations in a row SET, they don't multiply.
+	got, err = Apply(base, []Event{BSDegrade(1, 3, 0.5), BSDegrade(2, 3, 0.5)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if want := base.BSs[3].CapMHz * 0.5; got.BSs[3].CapMHz != want {
+		t.Errorf("factor composed: got %v, want %v (set semantics)", got.BSs[3].CapMHz, want)
+	}
+	// The same contract holds for operator churn: leave zeroes one CU's
+	// pool, leave+join collapses to the base pointer.
+	got, err = Apply(base, []Event{CULeave(2, 1)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got.CUs[1].CPUCores != 0 || got.CUs[0].CPUCores != base.CUs[0].CPUCores {
+		t.Errorf("CULeave: CUs %v / base %v", got.CUs, base.CUs)
+	}
+	got, err = Apply(base, []Event{CULeave(2, 1), CUJoin(7, 1)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got != base {
+		t.Error("leave+join should collapse to the base pointer")
+	}
+}
+
+func TestApplyAllLinksWildcard(t *testing.T) {
+	base := Romanian(8)
+	got, err := Apply(base, []Event{LinkDegrade(0, -1, 0.25)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for i := range got.Links {
+		if want := base.Links[i].CapMbps * 0.25; math.Abs(got.Links[i].CapMbps-want) > 1e-12 {
+			t.Fatalf("link %d = %v, want %v", i, got.Links[i].CapMbps, want)
+		}
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	base := Romanian(8)
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"negative epoch", Event{Epoch: -1, Kind: EventBS, Index: 0, Factor: 1}},
+		{"negative factor", Event{Epoch: 0, Kind: EventBS, Index: 0, Factor: -0.5}},
+		{"bs out of range", BSOutage(0, 99)},
+		{"bs negative index", BSOutage(0, -1)},
+		{"link out of range", LinkDegrade(0, len(base.Links), 0.5)},
+		{"link index -2", LinkDegrade(0, -2, 0.5)},
+		{"cu out of range", CULeave(0, 99)},
+		{"unknown kind", Event{Kind: EventKind(42), Factor: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Apply(base, []Event{tc.ev}); err == nil {
+				t.Fatalf("Apply(%+v) accepted an invalid event", tc.ev)
+			}
+			if _, err := NewSchedule(base, []Event{tc.ev}); err == nil {
+				t.Fatalf("NewSchedule(%+v) accepted an invalid event", tc.ev)
+			}
+		})
+	}
+	if _, err := NewSchedule(nil, nil); err == nil {
+		t.Fatal("NewSchedule(nil) accepted a nil base")
+	}
+}
+
+func TestSchedulePointerStability(t *testing.T) {
+	base := Romanian(8)
+	s, err := NewSchedule(base, []Event{
+		BSOutage(3, 1),
+		BSRecover(6, 1),
+	})
+	if err != nil {
+		t.Fatalf("NewSchedule: %v", err)
+	}
+	// Before any event: base pointer, stable across quiet epochs.
+	n0 := s.At(0)
+	if n0 != base {
+		t.Fatal("At(0) before any event should return the base pointer")
+	}
+	if s.At(1) != n0 || s.At(2) != n0 {
+		t.Fatal("quiet epochs must return the identical cached pointer (warm-path contract)")
+	}
+	// Event epoch: new derived pointer, then stable again.
+	n3 := s.At(3)
+	if n3 == base {
+		t.Fatal("At(3) must derive a new network for the outage epoch")
+	}
+	if n3.BSs[1].CapMHz != 0 {
+		t.Errorf("BS 1 CapMHz = %v during outage, want 0", n3.BSs[1].CapMHz)
+	}
+	if s.At(4) != n3 || s.At(5) != n3 {
+		t.Fatal("epochs between events must reuse the derived pointer")
+	}
+	// Recovery folds back to identity: base pointer again.
+	if n6 := s.At(6); n6 != base {
+		t.Fatal("full recovery should collapse back to the base pointer")
+	}
+	// Rewind replays from the start deterministically.
+	if again := s.At(3); again == base || again.BSs[1].CapMHz != 0 {
+		t.Fatal("rewound At(3) did not replay the outage")
+	}
+}
+
+func TestScheduleBSUpMask(t *testing.T) {
+	base := Romanian(8)
+	s, err := NewSchedule(base, []Event{
+		BSOutage(2, 0),
+		BSDegrade(2, 1, 0.25), // degraded but up
+		BSRecover(5, 0),
+	})
+	if err != nil {
+		t.Fatalf("NewSchedule: %v", err)
+	}
+	up := s.BSUpMask(0)
+	for i, v := range up {
+		if !v {
+			t.Fatalf("epoch 0: BS %d should be up", i)
+		}
+	}
+	up = s.BSUpMask(2)
+	if up[0] {
+		t.Error("epoch 2: BS 0 should be down")
+	}
+	if !up[1] {
+		t.Error("epoch 2: degraded BS 1 should still count as up")
+	}
+	up = s.BSUpMask(5)
+	if !up[0] {
+		t.Error("epoch 5: BS 0 should have recovered")
+	}
+	// Returned mask is a copy: mutating it must not poison the schedule.
+	up[0] = false
+	if !s.BSUpMask(5)[0] {
+		t.Error("BSUpMask returned shared state")
+	}
+}
+
+func TestScheduleEventsAccessorSortsStably(t *testing.T) {
+	base := Romanian(8)
+	s, err := NewSchedule(base, []Event{
+		BSRecover(7, 0),
+		BSDegrade(2, 0, 0.5),
+		BSOutage(2, 1),
+		BSOutage(0, 2),
+	})
+	if err != nil {
+		t.Fatalf("NewSchedule: %v", err)
+	}
+	evs := s.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events() returned %d events, want 4", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Epoch < evs[i-1].Epoch {
+			t.Fatalf("events not epoch-sorted: %+v", evs)
+		}
+	}
+	// Same-epoch order preserved (stable sort): degrade(bs0) before outage(bs1).
+	if evs[1].Index != 0 || evs[2].Index != 1 {
+		t.Fatalf("same-epoch order not stable: %+v", evs)
+	}
+	// Accessor returns a copy.
+	evs[0] = Event{Epoch: 99}
+	if s.Events()[0].Epoch == 99 {
+		t.Fatal("Events() returned shared state")
+	}
+}

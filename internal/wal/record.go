@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/reopt"
+	"repro/internal/topology"
 	"repro/internal/yield"
 )
 
@@ -21,6 +22,12 @@ const (
 	KindAdvance   = "advance"
 	KindObserve   = "observe"
 	KindSettle    = "settle"
+	// KindTopology records capacity events folded into a domain's live
+	// network; KindHandover a committed slice moving between domains. Both
+	// are fsynced at append time (they change every later decision), so —
+	// unlike forecasts/advance — they are never held back by recovery.
+	KindTopology = "topology"
+	KindHandover = "handover"
 )
 
 // Record is one logged step input. Kind selects which fields are
@@ -43,6 +50,13 @@ type Record struct {
 	Alive   []string             `json:"alive,omitempty"`
 	Peaks   []reopt.ObservedPeak `json:"peaks,omitempty"`
 	Entries []yield.Entry        `json:"entries,omitempty"`
+
+	// topology: the capacity events applied (Domain is the target domain).
+	Events []topology.Event `json:"events,omitempty"`
+
+	// handover: the slice Name moving from Domain to To.
+	To   string `json:"to,omitempty"`
+	Name string `json:"name,omitempty"`
 }
 
 // ErrTorn marks a frame that cannot be decoded: short header, payload

@@ -164,6 +164,13 @@ func Recover(s *Store, rec *Recovered, t Target) (*Report, error) {
 					c.ReplayAdvanced()
 				}
 			}
+		case KindTopology:
+			// Fsynced at append time and never held back: the capacity
+			// trajectory re-applies through the live path (appends are
+			// suppressed while recovering).
+			err = t.Engine.ApplyTopology(r.Domain, r.Events)
+		case KindHandover:
+			err = t.Engine.Handover(r.Domain, r.To, r.Name)
 		default:
 			err = fmt.Errorf("wal: unknown record kind %q", r.Kind)
 		}

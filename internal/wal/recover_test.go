@@ -14,6 +14,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/slice"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 	"repro/internal/yield"
 )
@@ -73,10 +74,18 @@ type world struct {
 	pending []offer
 	gens    map[string][]traffic.Generator
 	last    []monitor.Sample
+	// events is the scenario's capacity-event stream, epoch-sorted; the
+	// world delivers each epoch's slice at the epoch boundary. A recovered
+	// process already holds every PAST epoch's events (they replay from the
+	// WAL); the boundary delivery happens before the epoch's step, so a
+	// kill at the boundary never leaves an event half-delivered.
+	events []topology.Event
 }
 
 func newWorld(cfg sim.Config, reoffer bool) *world {
 	w := &world{cfg: cfg, reoffer: reoffer, gens: map[string][]traffic.Generator{}}
+	w.events = append(w.events, cfg.Events...)
+	sort.SliceStable(w.events, func(i, j int) bool { return w.events[i].Epoch < w.events[j].Epoch })
 	for _, sp := range cfg.Slices {
 		w.offers = append(w.offers, offer{
 			spec: sp,
@@ -187,6 +196,17 @@ func (w *world) reconnect(p *proc) {
 // returned fingerprint matches the reopt equality suite's format.
 func (w *world) runEpoch(t testing.TB, p *proc, epoch int) string {
 	t.Helper()
+	var fire []topology.Event
+	for _, ev := range w.events {
+		if ev.Epoch == epoch {
+			fire = append(fire, ev)
+		}
+	}
+	if len(fire) > 0 {
+		if err := p.eng.ApplyTopology("", fire); err != nil {
+			t.Fatalf("epoch %d: apply topology: %v", epoch, err)
+		}
+	}
 	for _, o := range w.offers {
 		if o.spec.ArrivalEpoch == epoch {
 			w.pending = append(w.pending, o)
@@ -316,7 +336,7 @@ func assertIdentical(t testing.TB, label string, want, got finalState, wantLines
 // run's decision trace, yield ledger, committed detail and tracker state
 // to equal the never-killed run's bit for bit.
 func TestKillAndReplayMatchesUninterrupted(t *testing.T) {
-	for _, name := range []string{"diurnal-drift", "flash-drift"} {
+	for _, name := range []string{"diurnal-drift", "flash-drift", "outage", "churn"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

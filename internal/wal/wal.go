@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/reopt"
+	"repro/internal/topology"
 	"repro/internal/yield"
 )
 
@@ -337,6 +338,16 @@ func (s *Store) AppendForecasts(domain string, ups []admission.ForecastUpdate) e
 // AppendAdvance implements admission.RoundLog.
 func (s *Store) AppendAdvance(domain string) error {
 	return s.append(&Record{Kind: KindAdvance, Domain: domain})
+}
+
+// AppendTopology implements admission.RoundLog.
+func (s *Store) AppendTopology(domain string, events []topology.Event) error {
+	return s.append(&Record{Kind: KindTopology, Domain: domain, Events: events})
+}
+
+// AppendHandover implements admission.RoundLog.
+func (s *Store) AppendHandover(fromDomain, toDomain, name string) error {
+	return s.append(&Record{Kind: KindHandover, Domain: fromDomain, To: toDomain, Name: name})
 }
 
 // SyncRound implements admission.RoundLog: the once-per-round group commit.

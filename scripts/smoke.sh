@@ -14,8 +14,20 @@ run go run ./cmd/simctl -experiment fig4 -full
 run go run ./cmd/simctl -experiment scaling
 run go run ./cmd/simctl -experiment forecast
 run go run ./cmd/testbed
-run go run ./cmd/scenario list
+# The archetype catalog is pinned byte-for-byte: adding or rewording an
+# archetype is deliberate, and refreshes the golden with:
+#   go run ./cmd/scenario list > scripts/golden/scenario_list.golden
+echo "smoke: scenario list golden"
+go run ./cmd/scenario list > /tmp/scenario_list_smoke.out
+diff -u scripts/golden/scenario_list.golden /tmp/scenario_list_smoke.out
+rm -f /tmp/scenario_list_smoke.out
 run go run ./cmd/scenario run -name flash-crowd -seed 7
+run go run ./cmd/scenario run -name outage -tenants 4 -epochs 10 -seed 1
+run go run ./cmd/scenario run -name trace-replay -tenants 4 -epochs 10 -seed 1
+# The -trace flag end to end: a recorded CSV drives the same archetype.
+printf '# demand trace\n10\n12\n15\n12\n' > /tmp/smoke-trace.csv
+run go run ./cmd/scenario run -name homogeneous -tenants 4 -epochs 10 -seed 1 -trace /tmp/smoke-trace.csv
+rm -f /tmp/smoke-trace.csv
 # Seeds 42.. cross the distress seed the Benders fallback regression
 # guards (see internal/scenario/distress_test.go). The sweep output is also
 # pinned byte-for-byte against a golden file: solver refactors (the sparse
@@ -47,6 +59,12 @@ sleep 1
 curl -fsS 127.0.0.1:18080/slices > /dev/null
 curl -fsS 127.0.0.1:18080/metrics | grep -q '"yield"'
 curl -fsS 127.0.0.1:18080/yield > /dev/null
+# Adversarial surface: inject a BS outage, run an epoch through the hole,
+# recover, and read the applied event stream back.
+curl -fsS -X POST 127.0.0.1:18080/topology -d '[{"epoch":0,"kind":0,"index":0,"factor":0}]' > /dev/null
+curl -fsS -X POST 127.0.0.1:18080/epoch > /dev/null
+curl -fsS -X POST 127.0.0.1:18080/topology -d '[{"epoch":0,"kind":0,"index":0,"factor":1}]' > /dev/null
+curl -fsS 127.0.0.1:18080/topology | grep -q '"factor":1'
 kill -TERM "$OVNES"
 wait "$OVNES"
 trap - EXIT
