@@ -9,7 +9,7 @@ GO ?= go
 # while catching wholesale test deletions or big untested subsystems.
 COVER_FLOOR ?= 75.2
 
-.PHONY: build test test-race vet fmt-check lint bench bench-smoke bench-json bench-compare fuzz-smoke hunt-smoke recover-check cover docs-check links-check smoke clean ci
+.PHONY: build test test-race vet fmt-check lint bench bench-smoke bench-json bench-compare fuzz-smoke hunt-smoke recover-check cluster-check cover docs-check links-check smoke clean ci
 
 build:
 	$(GO) build ./...
@@ -130,6 +130,14 @@ hunt-smoke:
 recover-check:
 	$(GO) test ./internal/wal/ -run 'TestKillAndReplay|TestCleanShutdown|TestRecoverTruncates' -count=1 -timeout 10m
 
+# cluster-check is the distributed-determinism gate: loadgen and the
+# ovnes REST stack run once in-process and once against real ovnes-worker
+# OS processes (internal/cluster), with one worker SIGKILLed mid-run. The
+# decision tables, yield ledger and slice states must be byte-identical —
+# the cluster must change throughput topology, never a decision.
+cluster-check:
+	./scripts/cluster_check.sh
+
 # docs-check fails when a package lacks its godoc: every internal/*
 # package must carry a doc.go opening with "// Package <name>", every
 # cmd/* binary a "// Command <name>" comment in main.go.
@@ -178,4 +186,4 @@ cover:
 	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN{exit !(t>=f)}' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-ci: build vet fmt-check lint docs-check links-check test-race cover fuzz-smoke recover-check hunt-smoke smoke bench-json bench-compare
+ci: build vet fmt-check lint docs-check links-check test-race cover fuzz-smoke recover-check cluster-check hunt-smoke smoke bench-json bench-compare

@@ -10,7 +10,14 @@
 //	loadgen [-scenario flash-crowd] [-seed 42] [-domains 8] [-shards 0]
 //	        [-epochs 0] [-tenants 0] [-algo ""] [-queue 1024] [-tenant-cap 0]
 //	        [-reoffer] [-mode drift] [-trace demand.json]
+//	        [-cluster 127.0.0.1:9090] [-cluster-workers 2]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -cluster turns loadgen into a cluster coordinator: it listens on the
+// given TCP address, waits for -cluster-workers ovnes-worker processes,
+// and dispatches every round solve to them (internal/cluster). The
+// printed tables are bit-identical to the in-process run — the cluster
+// determinism pin — so diffing the two outputs is a live end-to-end check.
 //
 // -trace replays a recorded demand file (JSON/CSV, see internal/traffic)
 // as every class's load shape, so the closed/static modes can be driven by
@@ -51,7 +58,9 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/cluster"
 	"repro/internal/monitor"
+	"repro/internal/obslog"
 	"repro/internal/profiling"
 	"repro/internal/reopt"
 	"repro/internal/scenario"
@@ -78,6 +87,9 @@ func main() {
 		reoffer   = flag.Bool("reoffer", false, "re-offer rejected requests every epoch")
 		mode      = flag.String("mode", "drift", "forecast feed: drift | closed | static")
 		trace     = flag.String("trace", "", "replay a recorded demand file (JSON/CSV) as every class's load")
+
+		clAddr    = flag.String("cluster", "", "listen on this TCP address for ovnes-worker processes and dispatch round solves to them (empty = solve in-process)")
+		clWorkers = flag.Int("cluster-workers", 1, "with -cluster: wait for this many workers before driving load")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -123,6 +135,25 @@ func main() {
 		*shards = runtime.NumCPU()
 	}
 
+	// Distributed mode: a cluster coordinator accepts worker processes and
+	// becomes every domain's Executor. Decisions are bit-identical to the
+	// in-process run — that is the engine's cross-network determinism pin —
+	// so -cluster changes throughput topology, never the printed tables.
+	var exec admission.Executor
+	if *clAddr != "" {
+		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{
+			Log: obslog.New(os.Stderr, obslog.InfoLevel).Str("service", "loadgen"),
+		})
+		defer coord.Close()
+		addr, err := coord.Listen(*clAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster coordinator on tcp://%s, waiting for %d worker(s) (ovnes-worker -connect %s)",
+			addr, *clWorkers, addr)
+		exec = coord
+	}
+
 	eng := admission.New(admission.Config{
 		Shards:     *shards,
 		QueueDepth: *queue,
@@ -137,13 +168,28 @@ func main() {
 			log.Fatal(err)
 		}
 		cfgs[d] = cfg
-		if err := eng.AddDomain(domName(d), admission.DomainConfig{
+		dc := admission.DomainConfig{
 			Net:       cfg.Net,
 			KPaths:    cfg.KPaths,
 			Algorithm: spec.Algorithm,
-		}); err != nil {
+			Executor:  exec,
+		}
+		if coord, ok := exec.(*cluster.Coordinator); ok {
+			if err := coord.RegisterDomain(domName(d), dc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := eng.AddDomain(domName(d), dc); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if coord, ok := exec.(*cluster.Coordinator); ok && *clWorkers > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		if err := coord.WaitMembers(ctx, *clWorkers); err != nil {
+			log.Fatal(err)
+		}
+		cancel()
+		log.Printf("cluster ready: workers=%v", coord.Members())
 	}
 	if err := eng.Start(); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,104 @@
+// Command ovnes-worker hosts admission shard solvers for a cluster
+// coordinator (ovnes -cluster-listen, or loadgen -cluster). It is
+// stateless by design: the coordinator owns every decision, the WAL and
+// all tenant state; the worker receives each domain's config once over
+// the wire, keeps a warm solver session per domain, and answers round
+// dispatches with decisions that are bit-identical to an in-process
+// solve. Kill one at any moment — the coordinator re-dispatches whatever
+// was in flight to a surviving worker and the decision trace does not
+// change.
+//
+// Usage:
+//
+//	ovnes-worker -connect 127.0.0.1:9090 [-id worker-1] \
+//	             [-heartbeat 1s] [-log-level info]
+//
+// The worker redials with backoff until the coordinator appears and
+// reconnects after a coordinator restart, so start order is free.
+// SIGINT/SIGTERM exit cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obslog"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ovnes-worker: ")
+
+	var (
+		connect   = flag.String("connect", "127.0.0.1:9090", "coordinator cluster address (ovnes -cluster-listen)")
+		id        = flag.String("id", "", "worker ID for membership and placement (default: host:pid)")
+		heartbeat = flag.Duration("heartbeat", time.Second, "heartbeat interval; must be well below the coordinator's timeout")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error | off")
+	)
+	flag.Parse()
+
+	lvl, err := obslog.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	olog := obslog.New(os.Stderr, lvl).Str("service", "ovnes-worker")
+
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	olog.Info().Str("worker", *id).Str("coordinator", *connect).Msg("starting")
+
+	// Outer loop: dial (with backoff), serve until the connection or the
+	// coordinator dies, repeat. The solver host is rebuilt per connection
+	// on purpose — a fresh coordinator re-assigns domains anyway, and a
+	// stale warm cache can never outlive its assignment that way.
+	backoff := 250 * time.Millisecond
+	for ctx.Err() == nil {
+		conn, err := net.DialTimeout("tcp", *connect, 5*time.Second)
+		if err != nil {
+			olog.Debug().Str("worker", *id).Err(err).Dur("retry-in", backoff).Msg("coordinator not reachable")
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+			continue
+		}
+		backoff = 250 * time.Millisecond
+		err = cluster.RunWorker(ctx, conn, cluster.WorkerOptions{
+			ID:             *id,
+			Log:            olog,
+			HeartbeatEvery: *heartbeat,
+		})
+		conn.Close()
+		switch {
+		case ctx.Err() != nil:
+			log.Print("bye")
+			return
+		case err != nil && !errors.Is(err, context.Canceled):
+			olog.Warn().Str("worker", *id).Err(err).Msg("connection to coordinator lost; redialing")
+		default:
+			olog.Info().Str("worker", *id).Msg("coordinator closed the connection; redialing")
+		}
+	}
+}

@@ -9,7 +9,8 @@
 //	ovnes [-listen 127.0.0.1:8080] [-collector 127.0.0.1:6343] \
 //	      [-topology testbed|romanian|swiss|italian] [-nbs 4] [-algo direct] \
 //	      [-shards 1] [-queue 1024] [-epoch-every 0] \
-//	      [-data-dir ovnes-data] [-snapshot-every 16]
+//	      [-data-dir ovnes-data] [-snapshot-every 16] \
+//	      [-cluster-listen 127.0.0.1:9090] [-log-level info]
 //
 // Endpoints (orchestrator): POST /requests, POST /epoch, GET /slices,
 // GET /epoch, GET /metrics, GET /yield. The controllers listen on
@@ -25,6 +26,13 @@
 // serving. A clean shutdown writes a final snapshot, making the next
 // start replay-free.
 //
+// With -cluster-listen, ovnes becomes a cluster coordinator: ovnes-worker
+// processes connect to that TCP address and each epoch's round solve is
+// dispatched to the worker a deterministic rendezvous placement picks.
+// Decisions are bit-identical to single-process mode — a worker killed
+// mid-round is detected, its in-flight round re-dispatched, and its load
+// rebalanced onto the survivors without losing or reordering a decision.
+//
 // SIGINT/SIGTERM shut the stack down gracefully: listeners stop accepting,
 // in-flight HTTP requests finish, the admission engine drains its queue,
 // and only then does the process exit.
@@ -38,14 +46,18 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"strconv"
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
+	"repro/internal/cluster"
 	"repro/internal/ctrlplane"
 	"repro/internal/dataplane"
 	"repro/internal/monitor"
+	"repro/internal/obslog"
 	"repro/internal/topology"
 )
 
@@ -64,8 +76,16 @@ func main() {
 		epochEvery = flag.Duration("epoch-every", 0, "run the closed loop on this wall-clock period (0 = epochs only via POST /epoch)")
 		dataDir    = flag.String("data-dir", "", "durable WAL + snapshot directory; decisions survive a kill and replay on restart (empty = no durability)")
 		snapEvery  = flag.Int("snapshot-every", 16, "snapshot cadence in epochs (with -data-dir)")
+		clListen   = flag.String("cluster-listen", "", "accept ovnes-worker connections on this TCP address and dispatch round solves to them (empty = solve in-process)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug | info | warn | error | off")
 	)
 	flag.Parse()
+
+	lvl, err := obslog.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	olog := obslog.New(os.Stderr, lvl).Str("service", "ovnes")
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -73,6 +93,24 @@ func main() {
 	net_, err := buildTopo(*topoName, *nbs)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Optional distributed mode: a cluster coordinator accepts worker
+	// processes and becomes the engine's Executor. Decision state, the
+	// WAL and every endpoint stay exactly as in single-process mode.
+	var exec admission.Executor
+	if *clListen != "" {
+		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{Log: olog})
+		defer coord.Close()
+		if err := coord.RegisterDomain("", admission.DomainConfig{Net: net_, Algorithm: *algo}); err != nil {
+			log.Fatal(err)
+		}
+		addr, err := coord.Listen(*clListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster coordinator on tcp://%s (ovnes-worker -connect %s)", addr, addr)
+		exec = coord
 	}
 	dp := dataplane.NewEmulator(net_)
 	store := monitor.NewStore(0)
@@ -123,6 +161,7 @@ func main() {
 		CloudAddr:     "http://" + addrOf(3),
 		DataDir:       *dataDir,
 		SnapshotEvery: *snapEvery,
+		Executor:      exec,
 	})
 	if err != nil {
 		log.Fatal(err)

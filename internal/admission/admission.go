@@ -140,6 +140,26 @@ func (t *Ticket) Err() error {
 	}
 }
 
+// Executor runs one admission round's solve step outside the engine's own
+// shard goroutine — the seam the distributed control plane (internal/
+// cluster) plugs a remote worker into. The engine calls SolveRound under
+// the domain's solver lock with the round already logged, passing the
+// exact inputs a local solve would see: the tenants in canonical order and
+// the domain's accumulated capacity events (the remote side re-derives the
+// live network from them against its own copy of the base topology). The
+// solve is a pure function of those inputs — warm solver state is a cache
+// that cannot move a decision (the warm==cold pins) — so a remote solve,
+// a re-dispatched solve after a worker loss, and a local solve all return
+// the bit-identical decision.
+//
+// Neither slice may be retained or mutated past the call. Recovery replay
+// (ReplayRound) never routes through an Executor: it always solves on the
+// engine's local solver, so a crashed coordinator recovers without waiting
+// for workers to rejoin.
+type Executor interface {
+	SolveRound(domain string, seq uint64, events []topology.Event, tenants []core.TenantSpec) (*core.Decision, error)
+}
+
 // DomainConfig describes one operator domain the engine serves: its
 // topology, path budget and AC-RR algorithm.
 type DomainConfig struct {
@@ -156,7 +176,18 @@ type DomainConfig struct {
 	RiskHorizon int
 	// Benders tunes the warm session ("benders" only).
 	Benders core.BendersOptions
+	// Executor, when set, runs the domain's round solves remotely (the
+	// cluster coordinator). Nil keeps every solve on the in-process
+	// solver — the single-binary mode, bit-identical by the Executor
+	// contract. Replay always solves locally regardless.
+	Executor Executor
 }
+
+// Normalized returns the config exactly as the engine will use it —
+// defaults applied, BigM sign resolved — or the validation error AddDomain
+// would return. The cluster layer normalizes a domain spec once here so
+// coordinator-side and worker-side solves assemble identical instances.
+func (dc DomainConfig) Normalized() (DomainConfig, error) { return dc.withDefaults() }
 
 func (dc DomainConfig) withDefaults() (DomainConfig, error) {
 	if dc.Net == nil {

@@ -827,6 +827,12 @@ func (e *Engine) execRound(job *roundJob) {
 		// Logging failed; decide nothing.
 	case len(specs) == 0:
 		dec = &core.Decision{} // nothing to decide, nothing to re-optimize
+	case d.cfg.Executor != nil && !job.replay:
+		// Remote solve: the executor sees the same canonical inputs the
+		// local branch below would and is contractually bit-identical.
+		// Replay deliberately stays on the local branch — recovery must
+		// not depend on workers having rejoined.
+		dec, err = d.cfg.Executor.SolveRound(d.name, r.Seq, d.topoEvents, specs)
 	default:
 		inst := &core.Instance{
 			Net: d.curNet, Paths: d.paths, Tenants: specs,

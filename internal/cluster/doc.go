@@ -1,0 +1,49 @@
+// Package cluster is the distributed control plane: admission shard
+// workers running as separate OS processes behind a deterministic
+// coordinator, so decision throughput scales with machines instead of
+// cores — with the engine's bit-identical-to-serial-replay determinism
+// pin held across the network.
+//
+// # Roles
+//
+// The Coordinator embeds in the process that owns the admission engine
+// (ovnes, loadgen). It owns membership — workers join over TCP with a
+// hello, stay alive by heartbeating, and are declared dead on a read
+// error or a heartbeat timeout — and implements admission.Executor:
+// each domain's round solves are dispatched to the worker that a seeded
+// rendezvous placement assigns the domain to. The same member set always
+// yields the same placement, and a single leave moves only the departed
+// worker's domains (rendezvous minimal movement), both pinned by tests.
+//
+// A worker (cmd/ovnes-worker, or an in-process loopback worker) hosts
+// warm per-domain solver state exactly as the engine's own shards do: it
+// receives each domain's full config once (an assign message carrying
+// the base topology as JSON), then solves round after round against a
+// warm core.BendersSession, re-deriving the live network from the
+// accumulated capacity events each round ships.
+//
+// # Why cross-network determinism holds
+//
+// A round solve is a pure function of (base network, k-path budget,
+// accumulated capacity events, canonical tenant specs, pricing knobs).
+// Every one of those inputs either round-trips JSON exactly (float64s
+// use shortest-form encoding) or is an int/string, and warm solver state
+// is a cache that cannot move a decision (the warm==cold pins). So a
+// solve on worker A, the same solve re-dispatched to worker B after A is
+// SIGKILLed mid-round, and a local in-process solve all return the
+// bit-identical decision — which is what lets the coordinator re-dispatch
+// in-flight rounds on worker loss without losing or reordering any
+// decision, and what the worker-count {1,2,4} equality tests and the
+// cluster-check CI gate pin end to end. Because the coordinator still
+// owns all state and the WAL (log-before-ack, unchanged), crash recovery
+// is identical to single-process mode and never waits for workers.
+//
+// # Wire protocol
+//
+// Messages travel as length-prefixed CRC-32C-checked JSON frames (the
+// internal/wal framing idiom) over one TCP connection per worker:
+// hello/welcome at join, assign (domain spec) lazily before a domain's
+// first round on a worker, round/reply correlated by ID, and ping as the
+// worker's heartbeat. A frame that fails its checks is a protocol error
+// that kills the connection — never a panic (FuzzClusterFrameDecode).
+package cluster

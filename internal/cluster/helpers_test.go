@@ -1,0 +1,25 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obslog"
+)
+
+// tWriter routes obslog lines into the test log.
+type tWriter struct{ t *testing.T }
+
+func (w tWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+// testLogger is silent by default and verbose under -v, so membership
+// churn in the kill tests is debuggable without polluting normal runs.
+func testLogger(t *testing.T) obslog.Logger {
+	if testing.Verbose() {
+		return obslog.New(tWriter{t: t}, obslog.DebugLevel)
+	}
+	return obslog.Nop()
+}

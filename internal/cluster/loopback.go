@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"context"
+	"net"
+
+	"repro/internal/obslog"
+)
+
+// StartLoopbackWorker attaches an in-process worker to the coordinator
+// over a synchronous net.Pipe — no sockets, no ports. It is how tests
+// and benchmarks exercise the full wire protocol hermetically, and how a
+// single binary can keep a warm local worker while remote ones join over
+// TCP. The returned stop function detaches the worker (the coordinator
+// sees an ordinary connection loss and rebalances) and waits for it to
+// wind down.
+func StartLoopbackWorker(c *Coordinator, id string, log obslog.Logger) (stop func()) {
+	server, client := net.Pipe()
+	c.AddConn(server)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = RunWorker(ctx, client, WorkerOptions{ID: id, Log: log})
+	}()
+	return func() {
+		cancel()
+		server.Close()
+		client.Close()
+		<-done
+	}
+}

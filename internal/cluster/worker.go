@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obslog"
+)
+
+// WorkerOptions configures one worker connection.
+type WorkerOptions struct {
+	// ID names the worker in membership and placement. Required, and
+	// must be unique across the cluster — a duplicate supersedes the
+	// older connection.
+	ID string
+	// Log receives startup and per-assign events. Zero value is silent.
+	Log obslog.Logger
+	// HeartbeatEvery spaces the worker's pings. Default 1s; must be
+	// comfortably below the coordinator's HeartbeatTimeout.
+	HeartbeatEvery time.Duration
+	// Host holds the solver state. Default: a fresh empty host, which is
+	// right for everything except tests that pre-seed domains.
+	Host *SolverHost
+}
+
+// RunWorker serves one coordinator connection until it closes or ctx is
+// cancelled: join with a hello, heartbeat, install domains on assign,
+// and answer each round with a reply carrying the decision (or the
+// deterministic solver error). Round solves run concurrently — the
+// coordinator serializes per-domain, so concurrency here only overlaps
+// distinct domains.
+func RunWorker(ctx context.Context, conn net.Conn, opts WorkerOptions) error {
+	if opts.ID == "" {
+		return errors.New("cluster: worker needs an ID")
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = time.Second
+	}
+	host := opts.Host
+	if host == nil {
+		host = NewSolverHost()
+	}
+	log := opts.Log.Str("worker", opts.ID)
+
+	var wmu sync.Mutex
+	send := func(m *Message) error {
+		frame, err := encodeFrame(m)
+		if err != nil {
+			return err
+		}
+		wmu.Lock()
+		defer wmu.Unlock()
+		_, err = conn.Write(frame)
+		return err
+	}
+
+	if err := send(&Message{Type: MsgHello, Worker: opts.ID}); err != nil {
+		return fmt.Errorf("cluster: hello: %w", err)
+	}
+	welcome, err := readFrame(conn)
+	if err != nil || welcome.Type != MsgWelcome {
+		return fmt.Errorf("cluster: no welcome from coordinator (got %q): %w", welcome.Type, err)
+	}
+	log.Info().Msg("joined coordinator")
+
+	// Heartbeats and ctx cancellation live on a side goroutine; closing
+	// the conn is what unblocks the read loop below.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		t := time.NewTicker(opts.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				conn.Close()
+				return
+			case <-t.C:
+				if send(&Message{Type: MsgPing, Worker: opts.ID}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	for {
+		msg, err := readFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return ctx.Err()
+			}
+			return fmt.Errorf("cluster: worker read: %w", err)
+		}
+		switch msg.Type {
+		case MsgAssign:
+			if msg.Spec == nil {
+				return errors.New("cluster: assign without spec")
+			}
+			if err := host.Register(*msg.Spec); err != nil {
+				return err
+			}
+			log.Info().Str("domain", msg.Spec.Name).Str("algorithm", msg.Spec.Algorithm).
+				Msg("domain assigned")
+		case MsgRound:
+			go func(m Message) {
+				reply := Message{Type: MsgReply, ID: m.ID}
+				dec, err := host.Solve(m.Domain, m.Events, m.Tenants)
+				if err != nil {
+					reply.Err = err.Error()
+				} else {
+					reply.Decision = dec
+				}
+				// A dead conn surfaces in the read loop; nothing to do here.
+				_ = send(&reply)
+			}(msg)
+		default:
+			// Unknown or unsolicited types (welcome, ping) are ignored so
+			// the protocol can grow without breaking old workers.
+		}
+	}
+}

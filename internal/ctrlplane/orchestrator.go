@@ -44,6 +44,13 @@ type OrchestratorConfig struct {
 	// admission engine publishes its round vitals into the same store.
 	Store *monitor.Store
 
+	// Executor, when set, routes the default domain's round solves to a
+	// remote worker pool (an internal/cluster Coordinator). The engine
+	// keeps all state and the WAL; only the pure solve call leaves the
+	// process, so recovery, determinism pins and the REST surface are
+	// unchanged. Nil solves in-process.
+	Executor admission.Executor
+
 	// DataDir, when set, makes decisions durable: the orchestrator opens a
 	// WAL there (internal/wal), recovers whatever a previous process left
 	// behind before serving, logs every epoch's inputs, snapshots every
@@ -158,6 +165,7 @@ func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
 		Net:       cfg.Net,
 		KPaths:    cfg.KPaths,
 		Algorithm: cfg.Algorithm,
+		Executor:  cfg.Executor,
 	}); err != nil {
 		return nil, fmt.Errorf("ctrlplane: %w", err)
 	}

@@ -1,0 +1,21 @@
+// Package obslog is the control plane's structured, leveled logger: a
+// zerolog-shaped API (level-gated events, chained key-value fields, one
+// line per event) on nothing but the standard library.
+//
+// A Logger is a value; the zero value and Nop() discard everything and
+// cost nothing — the level gate returns a nil *Event before any field is
+// rendered, so instrumented hot paths stay allocation-free when logging
+// is off or below the threshold. Deployments construct one with New and
+// derive per-component loggers with Str-context:
+//
+//	log := obslog.New(os.Stderr, obslog.InfoLevel).Str("component", "coordinator")
+//	log.Info().Str("worker", id).Int("domains", n).Msg("worker joined")
+//
+// renders
+//
+//	ts=2026-08-07T12:00:00Z level=info component=coordinator worker=w1 domains=3 msg="worker joined"
+//
+// The format is logfmt-flavoured: space-separated key=value pairs with
+// the message last, values quoted only when they need it. Levels are
+// debug < info < warn < error; Disabled suppresses everything.
+package obslog

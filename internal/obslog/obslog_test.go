@@ -1,0 +1,101 @@
+package obslog
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func pinned() func() time.Time {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+func TestEventRendering(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, DebugLevel).WithClock(pinned()).Str("component", "coordinator")
+	log.Info().
+		Str("worker", "w1").
+		Str("spaced", "a b").
+		Int("domains", 3).
+		Uint64("seq", 42).
+		Float64("score", 0.125).
+		Dur("after", 1500*time.Millisecond).
+		Err(errors.New("boom")).
+		Msg("worker joined")
+
+	want := `ts=2026-08-07T12:00:00Z level=info component=coordinator worker=w1 spaced="a b" domains=3 seq=42 score=0.125 after=1.5s err=boom msg="worker joined"` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("rendered line:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, WarnLevel).WithClock(pinned())
+	log.Debug().Str("k", "v").Msg("dropped")
+	log.Info().Msg("dropped too")
+	log.Warn().Msg("kept")
+	log.Error().Msg("kept")
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("want 2 lines past the warn gate, got %d:\n%s", lines, buf.String())
+	}
+	if strings.Contains(buf.String(), "dropped") {
+		t.Fatalf("gated event leaked: %s", buf.String())
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	cases := map[string]string{
+		"plain":   "plain",
+		"":        `""`,
+		"a b":     `"a b"`,
+		`say "q"`: `"say \"q\""`,
+		"k=v":     `"k=v"`,
+		"tab\tx":  `"tab\tx"`,
+	}
+	for in, want := range cases {
+		if got := quote(in); got != want {
+			t.Errorf("quote(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// TestNopAllocationFree is the satellite's contract: a disabled logger on
+// a hot path costs nothing — the level gate returns a nil *Event before
+// any boxing or buffering can happen.
+func TestNopAllocationFree(t *testing.T) {
+	log := Nop()
+	n := testing.AllocsPerRun(100, func() {
+		log.Debug().Str("worker", "w1").Int("domains", 3).Msg("never rendered")
+		log.Info().Uint64("seq", 7).Msg("never rendered")
+	})
+	if n != 0 {
+		t.Fatalf("Nop logger allocated %.1f times per call chain, want 0", n)
+	}
+	var zero Logger
+	n = testing.AllocsPerRun(100, func() {
+		zero.Error().Str("k", "v").Msg("zero value is also a nop")
+	})
+	if n != 0 {
+		t.Fatalf("zero-value logger allocated %.1f times, want 0", n)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": DebugLevel, "info": InfoLevel, "warning": WarnLevel,
+		"warn": WarnLevel, "error": ErrorLevel, "off": Disabled, "INFO": InfoLevel,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
