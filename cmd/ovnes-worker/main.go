@@ -10,10 +10,18 @@
 //
 // Usage:
 //
-//	ovnes-worker -connect 127.0.0.1:9090 [-id worker-1] \
+//	ovnes-worker -connect 127.0.0.1:9090[,127.0.0.1:9091] [-id worker-1] \
 //	             [-heartbeat 1s] [-log-level info]
 //
-// The worker redials with backoff until the coordinator appears and
+// -connect takes a comma-separated address list: the worker keeps one
+// dial/redial loop per address, so in a replicated deployment (ovnes
+// leader + -standby) it reaches whichever coordinator is alive without
+// reconfiguration. All connections share one fencing-epoch gate — once
+// any coordinator presents a newer leader epoch, dispatches from older
+// epochs are rejected with a fenced reply, no matter which connection
+// they arrive on.
+//
+// The worker redials with backoff until a coordinator appears and
 // reconnects after a coordinator restart, so start order is free.
 // SIGINT/SIGTERM exit cleanly.
 package main
@@ -27,6 +35,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -39,7 +49,7 @@ func main() {
 	log.SetPrefix("ovnes-worker: ")
 
 	var (
-		connect   = flag.String("connect", "127.0.0.1:9090", "coordinator cluster address (ovnes -cluster-listen)")
+		connect   = flag.String("connect", "127.0.0.1:9090", "comma-separated coordinator cluster addresses (ovnes -cluster-listen); one redial loop per address")
 		id        = flag.String("id", "", "worker ID for membership and placement (default: host:pid)")
 		heartbeat = flag.Duration("heartbeat", time.Second, "heartbeat interval; must be well below the coordinator's timeout")
 		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error | off")
@@ -60,20 +70,48 @@ func main() {
 		*id = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
 
+	var addrs []string
+	for _, a := range strings.Split(*connect, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("-connect needs at least one coordinator address")
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	olog.Info().Str("worker", *id).Str("coordinator", *connect).Msg("starting")
+	olog.Info().Str("worker", *id).Str("coordinators", strings.Join(addrs, ",")).Msg("starting")
 
-	// Outer loop: dial (with backoff), serve until the connection or the
-	// coordinator dies, repeat. The solver host is rebuilt per connection
-	// on purpose — a fresh coordinator re-assigns domains anyway, and a
-	// stale warm cache can never outlive its assignment that way.
+	// One fencing gate across every connection: a welcome from the current
+	// leader raises it, and any dispatch below it — typically from a
+	// deposed leader still running on the other address — is rejected.
+	gate := &cluster.EpochGate{}
+	var wg sync.WaitGroup
+	for _, addr := range addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			dialLoop(ctx, addr, *id, *heartbeat, gate, olog)
+		}(addr)
+	}
+	wg.Wait()
+	log.Print("bye")
+}
+
+// dialLoop serves one coordinator address: dial (with backoff), serve
+// until the connection or the coordinator dies, repeat.
+func dialLoop(ctx context.Context, connect, id string, heartbeat time.Duration, gate *cluster.EpochGate, olog obslog.Logger) {
+	// The solver host is rebuilt per connection on purpose — a fresh
+	// coordinator re-assigns domains anyway, and a stale warm cache can
+	// never outlive its assignment that way.
 	backoff := 250 * time.Millisecond
 	for ctx.Err() == nil {
-		conn, err := net.DialTimeout("tcp", *connect, 5*time.Second)
+		conn, err := net.DialTimeout("tcp", connect, 5*time.Second)
 		if err != nil {
-			olog.Debug().Str("worker", *id).Err(err).Dur("retry-in", backoff).Msg("coordinator not reachable")
+			olog.Debug().Str("worker", id).Str("coordinator", connect).Err(err).Dur("retry-in", backoff).Msg("coordinator not reachable")
 			select {
 			case <-ctx.Done():
 				return
@@ -86,19 +124,19 @@ func main() {
 		}
 		backoff = 250 * time.Millisecond
 		err = cluster.RunWorker(ctx, conn, cluster.WorkerOptions{
-			ID:             *id,
+			ID:             id,
 			Log:            olog,
-			HeartbeatEvery: *heartbeat,
+			HeartbeatEvery: heartbeat,
+			Gate:           gate,
 		})
 		conn.Close()
 		switch {
 		case ctx.Err() != nil:
-			log.Print("bye")
 			return
 		case err != nil && !errors.Is(err, context.Canceled):
-			olog.Warn().Str("worker", *id).Err(err).Msg("connection to coordinator lost; redialing")
+			olog.Warn().Str("worker", id).Str("coordinator", connect).Err(err).Msg("connection to coordinator lost; redialing")
 		default:
-			olog.Info().Str("worker", *id).Msg("coordinator closed the connection; redialing")
+			olog.Info().Str("worker", id).Str("coordinator", connect).Msg("coordinator closed the connection; redialing")
 		}
 	}
 }

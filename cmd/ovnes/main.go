@@ -10,7 +10,9 @@
 //	      [-topology testbed|romanian|swiss|italian] [-nbs 4] [-algo direct] \
 //	      [-shards 1] [-queue 1024] [-epoch-every 0] \
 //	      [-data-dir ovnes-data] [-snapshot-every 16] \
-//	      [-cluster-listen 127.0.0.1:9090] [-log-level info]
+//	      [-cluster-listen 127.0.0.1:9090] \
+//	      [-lease ovnes-data/LEASE] [-lease-ttl 3s] [-lease-renew-every 0] \
+//	      [-standby] [-log-level info]
 //
 // Endpoints (orchestrator): POST /requests, POST /epoch, GET /slices,
 // GET /epoch, GET /metrics, GET /yield. The controllers listen on
@@ -32,6 +34,23 @@
 // Decisions are bit-identical to single-process mode — a worker killed
 // mid-round is detected, its in-flight round re-dispatched, and its load
 // rebalanced onto the survivors without losing or reordering a decision.
+//
+// With -lease, ovnes takes a leader lease (internal/cluster) before
+// serving: the acquisition bumps a fencing epoch that is stamped on every
+// worker dispatch and checked by the WAL before every write, so a deposed
+// leader that keeps running is rejected by workers and cannot touch the
+// log. The lease is renewed every -lease-renew-every (default TTL/3);
+// losing it is fatal by design — exactly one ovnes dispatches at a time.
+//
+// With -standby (requires -data-dir and -lease), ovnes is a warm replica:
+// it tails the leader's WAL, continuously replaying every committed
+// decision through the same code paths crash recovery uses, while waiting
+// for the leader's lease to lapse. When it does, the standby takes the
+// lease, finishes replay (truncating the dead leader's uncommitted
+// residue), and starts serving — with a decision state bit-identical to
+// the leader's, under the next fencing epoch. Point workers at both
+// addresses (ovnes-worker -connect addrA,addrB) and failover needs no
+// reconfiguration.
 //
 // SIGINT/SIGTERM shut the stack down gracefully: listeners stop accepting,
 // in-flight HTTP requests finish, the admission engine drains its queue,
@@ -77,6 +96,10 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durable WAL + snapshot directory; decisions survive a kill and replay on restart (empty = no durability)")
 		snapEvery  = flag.Int("snapshot-every", 16, "snapshot cadence in epochs (with -data-dir)")
 		clListen   = flag.String("cluster-listen", "", "accept ovnes-worker connections on this TCP address and dispatch round solves to them (empty = solve in-process)")
+		leasePath  = flag.String("lease", "", "leader lease file (conventionally <data-dir>/LEASE); acquire it before serving, fence dispatches and WAL writes with its epoch (empty = no lease)")
+		leaseTTL   = flag.Duration("lease-ttl", 3*time.Second, "lease validity; a standby takes over this long after the leader stops renewing")
+		leaseRenew = flag.Duration("lease-renew-every", 0, "lease renewal cadence (0 = TTL/3)")
+		standby    = flag.Bool("standby", false, "run as a warm replica: tail the leader's WAL in -data-dir, take over when its -lease lapses")
 		logLevel   = flag.String("log-level", "info", "structured log level: debug | info | warn | error | off")
 	)
 	flag.Parse()
@@ -87,6 +110,12 @@ func main() {
 	}
 	olog := obslog.New(os.Stderr, lvl).Str("service", "ovnes")
 
+	if *standby {
+		if *dataDir == "" || *leasePath == "" {
+			log.Fatal("-standby needs -data-dir (the leader's WAL directory) and -lease (the leader's lease file)")
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -95,23 +124,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Optional distributed mode: a cluster coordinator accepts worker
-	// processes and becomes the engine's Executor. Decision state, the
-	// WAL and every endpoint stay exactly as in single-process mode.
-	var exec admission.Executor
-	if *clListen != "" {
-		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{Log: olog})
-		defer coord.Close()
-		if err := coord.RegisterDomain("", admission.DomainConfig{Net: net_, Algorithm: *algo}); err != nil {
-			log.Fatal(err)
-		}
-		addr, err := coord.Listen(*clListen)
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("cluster coordinator on tcp://%s (ovnes-worker -connect %s)", addr, addr)
-		exec = coord
-	}
+	holder := leaseHolder()
+	leaseCfg := cluster.LeaseConfig{Path: *leasePath, Holder: holder, TTL: *leaseTTL}
+
 	dp := dataplane.NewEmulator(net_)
 	store := monitor.NewStore(0)
 
@@ -146,11 +161,13 @@ func main() {
 			}
 		}()
 	}
+	// The domain controllers are stateless; a standby binds them right
+	// away so the southbound is ready the instant it is promoted.
 	serve(addrOf(1), "RAN controller", ctrlplane.NewRANController(dp).Handler())
 	serve(addrOf(2), "transport controller", ctrlplane.NewTransportController(dp).Handler())
 	serve(addrOf(3), "cloud controller", ctrlplane.NewCloudController(dp).Handler())
 
-	orch, err := ctrlplane.NewOrchestrator(ctrlplane.OrchestratorConfig{
+	orchCfg := ctrlplane.OrchestratorConfig{
 		Net:           net_,
 		Algorithm:     *algo,
 		Shards:        *shards,
@@ -161,14 +178,123 @@ func main() {
 		CloudAddr:     "http://" + addrOf(3),
 		DataDir:       *dataDir,
 		SnapshotEvery: *snapEvery,
-		Executor:      exec,
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+
+	// A cluster coordinator is built only once the lease epoch is known:
+	// every welcome/assign/round it sends carries that epoch, so workers
+	// can fence out dispatches from a deposed predecessor.
+	newCoord := func(epoch uint64) (*cluster.Coordinator, error) {
+		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{Log: olog, Epoch: epoch})
+		if err := coord.RegisterDomain("", admission.DomainConfig{Net: net_, Algorithm: *algo}); err != nil {
+			coord.Close()
+			return nil, err
+		}
+		addr, err := coord.Listen(*clListen)
+		if err != nil {
+			coord.Close()
+			return nil, err
+		}
+		log.Printf("cluster coordinator on tcp://%s (ovnes-worker -connect %s)", addr, addr)
+		return coord, nil
+	}
+
+	var (
+		orch  *ctrlplane.Orchestrator
+		lease *cluster.Lease
+		coord *cluster.Coordinator
+	)
+	if *standby {
+		sb, err := ctrlplane.NewStandby(orchCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			// Tail until promoted (returns nil) or the replica diverged
+			// from the log (permanent; die so a supervisor rebuilds us).
+			if err := sb.Run(ctx, 0); err != nil {
+				errc <- err
+			}
+		}()
+		olog.Info().Str("holder", holder).Str("data-dir", *dataDir).Msg("standby: tailing the leader's WAL, waiting for its lease to lapse")
+		lease, err = cluster.WaitAcquire(ctx, leaseCfg, 0)
+		if err != nil {
+			sb.Close()
+			if ctx.Err() != nil {
+				log.Print("signal received while standing by, bye")
+				return
+			}
+			log.Fatal(err)
+		}
+		lsn, rounds := sb.Progress()
+		olog.Info().Str("holder", holder).Uint64("lease-epoch", lease.Epoch()).
+			Uint64("replayed-lsn", lsn).Int("replayed-rounds", rounds).Msg("took leadership")
+		var exec admission.Executor
+		if *clListen != "" {
+			if coord, err = newCoord(lease.Epoch()); err != nil {
+				log.Fatal(err)
+			}
+			exec = coord
+		}
+		if orch, err = sb.Promote(exec, lease.Check); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if *leasePath != "" {
+			log.Printf("acquiring leader lease %s (holder %s)", *leasePath, holder)
+			lease, err = cluster.WaitAcquire(ctx, leaseCfg, 0)
+			if err != nil {
+				if ctx.Err() != nil {
+					log.Print("signal received while waiting for the lease, bye")
+					return
+				}
+				log.Fatal(err)
+			}
+			olog.Info().Str("holder", holder).Uint64("lease-epoch", lease.Epoch()).Msg("took leadership")
+			orchCfg.WALFence = lease.Check
+		}
+		var epoch uint64
+		if lease != nil {
+			epoch = lease.Epoch()
+		}
+		if *clListen != "" {
+			if coord, err = newCoord(epoch); err != nil {
+				log.Fatal(err)
+			}
+			orchCfg.Executor = coord
+		}
+		if orch, err = ctrlplane.NewOrchestrator(orchCfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if coord != nil {
+		defer coord.Close()
 	}
 	if rep := orch.Recovery(); rep != nil {
 		log.Printf("durable state in %s: snapshot at LSN %d, %d records replayed (%d rounds), %d uncommitted tail records dropped",
 			*dataDir, rep.SnapshotLSN, rep.Applied, rep.Rounds, rep.HeldBack)
+	}
+	if lease != nil {
+		renew := *leaseRenew
+		if renew <= 0 {
+			renew = leaseCfg.TTL / 3
+		}
+		go func() {
+			tick := time.NewTicker(renew)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := lease.Renew(); err != nil {
+						// Fatal by design: a leader that cannot renew must
+						// stop dispatching before a successor's TTL elapses.
+						errc <- fmt.Errorf("leader lease: %w", err)
+						return
+					}
+				}
+			}
+		}()
 	}
 	serve(*listen, fmt.Sprintf("E2E orchestrator (%s, %s)", net_.Name, *algo), orch.Handler())
 	if *epochEvery > 0 {
@@ -203,11 +329,25 @@ func main() {
 	if err := orch.Close(); err != nil {
 		log.Printf("admission engine drain: %v", err)
 	}
+	if lease != nil {
+		if err := lease.Release(); err != nil {
+			log.Printf("lease release: %v", err)
+		}
+	}
 	if fatal {
 		col.Close()
-		log.Fatal("exiting after listener failure")
+		log.Fatal("exiting after failure")
 	}
 	log.Print("bye")
+}
+
+// leaseHolder identifies this process in the lease file.
+func leaseHolder() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "ovnes"
+	}
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
 }
 
 func buildTopo(name string, nbs int) (*topology.Network, error) {

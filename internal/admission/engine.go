@@ -171,6 +171,22 @@ func (e *Engine) AddDomain(name string, dc DomainConfig) error {
 	return nil
 }
 
+// SetExecutor installs (or clears) a domain's remote-solve executor after
+// AddDomain — the promote-to-active seam: a standby replays its whole life
+// with no executor (recovery must not depend on workers having rejoined),
+// then gains one at promotion, before Start. Safe between rounds too: the
+// executor is read under the domain lock.
+func (e *Engine) SetExecutor(domainName string, exec Executor) error {
+	d, err := e.domain(domainName)
+	if err != nil {
+		return err
+	}
+	d.dmu.Lock()
+	d.cfg.Executor = exec
+	d.dmu.Unlock()
+	return nil
+}
+
 // Start launches the shard workers (and the flush ticker, if configured).
 func (e *Engine) Start() error {
 	e.mu.Lock()

@@ -30,6 +30,12 @@ type CoordinatorOptions struct {
 	// (including re-dispatch after a worker death) before the
 	// coordinator solves it locally. Default 15s.
 	DispatchTimeout time.Duration
+	// Epoch is the fencing epoch of the leader lease this coordinator
+	// dispatches under, stamped on every welcome/assign/round frame.
+	// Workers reject frames below the newest epoch they have seen, so a
+	// deposed leader's dispatches bounce instead of double-deciding.
+	// Zero means "no lease" (the pre-replication single-leader mode).
+	Epoch uint64
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -56,6 +62,7 @@ type Coordinator struct {
 	opts   CoordinatorOptions
 	local  *SolverHost
 	nextID atomic.Uint64
+	fenced atomic.Bool // a worker saw a newer epoch; dispatching must stop
 
 	mu      sync.Mutex
 	specs   map[string]DomainSpec
@@ -162,7 +169,7 @@ func (c *Coordinator) AddConn(conn net.Conn) {
 			lastSeen: time.Now(),
 			dead:     make(chan struct{}),
 		}
-		if err := m.send(&Message{Type: MsgWelcome, Worker: hello.Worker}); err != nil {
+		if err := m.send(&Message{Type: MsgWelcome, Worker: hello.Worker, Epoch: c.opts.Epoch}); err != nil {
 			conn.Close()
 			return
 		}
@@ -192,9 +199,14 @@ func (c *Coordinator) readLoop(m *memberConn) {
 		if err != nil {
 			return
 		}
+		if msg.Type == MsgFenced && !c.fenced.Swap(true) {
+			c.opts.Log.Error().Str("worker", m.id).Uint64("epoch", c.opts.Epoch).
+				Uint64("newer", msg.Epoch).
+				Msg("coordinator fenced: worker rejected dispatch from a stale leader epoch")
+		}
 		m.mu.Lock()
 		m.lastSeen = time.Now()
-		if msg.Type == MsgReply {
+		if msg.Type == MsgReply || msg.Type == MsgFenced {
 			if ch := m.pending[msg.ID]; ch != nil {
 				delete(m.pending, msg.ID)
 				mm := msg
@@ -327,14 +339,28 @@ func (c *Coordinator) OwnerOf(domain string) (string, bool) {
 	return m.id, true
 }
 
+// ErrFenced reports that a worker rejected this coordinator's dispatch
+// because a newer leader epoch is active. There is deliberately no local
+// fallback on this path: a fenced leader deciding rounds on its own is
+// exactly the split brain fencing exists to prevent.
+var ErrFenced = fmt.Errorf("cluster: coordinator fenced: a newer leader epoch is active")
+
+// Fenced reports whether a worker has rejected this coordinator as stale.
+func (c *Coordinator) Fenced() bool { return c.fenced.Load() }
+
 // SolveRound implements admission.Executor: dispatch the round to the
 // domain's rendezvous owner, re-dispatching on worker death, and solve
 // locally if no worker answers within DispatchTimeout. Every path yields
 // the bit-identical decision because the solve is a pure function of the
-// arguments (plus the domain spec both sides hold).
+// arguments (plus the domain spec both sides hold) — except fencing:
+// once any worker reports a newer leader epoch, SolveRound fails fast
+// with ErrFenced and never solves locally.
 func (c *Coordinator) SolveRound(domain string, seq uint64, events []topology.Event, tenants []core.TenantSpec) (*core.Decision, error) {
 	deadline := time.Now().Add(c.opts.DispatchTimeout)
 	for attempt := 0; ; attempt++ {
+		if c.fenced.Load() {
+			return nil, ErrFenced
+		}
 		m := c.owner(domain)
 		if m == nil || time.Now().After(deadline) {
 			c.opts.Log.Warn().Str("domain", domain).Uint64("seq", seq).Int("attempt", attempt).
@@ -372,7 +398,7 @@ func (c *Coordinator) dispatch(m *memberConn, domain string, seq uint64, events 
 		if !ok {
 			return nil, fmt.Errorf("cluster: domain %q not registered with coordinator", domain), false
 		}
-		if err := m.send(&Message{Type: MsgAssign, Spec: &spec}); err != nil {
+		if err := m.send(&Message{Type: MsgAssign, Spec: &spec, Epoch: c.opts.Epoch}); err != nil {
 			m.conn.Close()
 			return nil, nil, true
 		}
@@ -389,7 +415,7 @@ func (c *Coordinator) dispatch(m *memberConn, domain string, seq uint64, events 
 		m.mu.Unlock()
 	}()
 
-	msg := &Message{Type: MsgRound, ID: id, Domain: domain, Seq: seq, Events: events, Tenants: tenants}
+	msg := &Message{Type: MsgRound, ID: id, Domain: domain, Seq: seq, Events: events, Tenants: tenants, Epoch: c.opts.Epoch}
 	if err := m.send(msg); err != nil {
 		m.conn.Close()
 		return nil, nil, true
@@ -399,6 +425,9 @@ func (c *Coordinator) dispatch(m *memberConn, domain string, seq uint64, events 
 	defer timer.Stop()
 	select {
 	case reply := <-ch:
+		if reply.Type == MsgFenced {
+			return nil, ErrFenced, false
+		}
 		if reply.Err != "" {
 			return nil, fmt.Errorf("cluster: worker %s: %s", m.id, reply.Err), false
 		}

@@ -23,6 +23,14 @@ func sampleMessages() []*Message {
 			Tenants: []core.TenantSpec{{Name: "t0", LambdaHat: 12.5, Sigma: 0.1}}},
 		{Type: MsgReply, ID: 7, Decision: &core.Decision{Accepted: []bool{true}, CU: []int{0}, Obj: 1.25}},
 		{Type: MsgReply, ID: 8, Err: "domain not registered"},
+		// Lease/fencing traffic: an epoch-stamped welcome, assign and round
+		// (what a leased leader sends), and a worker's fenced rejection
+		// carrying its newest known epoch.
+		{Type: MsgWelcome, Worker: "w1", Epoch: 3},
+		{Type: MsgAssign, Domain: "default", Worker: "w1", Epoch: 3},
+		{Type: MsgRound, ID: 9, Domain: "default", Seq: 4, Epoch: 3,
+			Tenants: []core.TenantSpec{{Name: "t1", LambdaHat: 8, Sigma: 0.2}}},
+		{Type: MsgFenced, ID: 9, Worker: "w1", Epoch: 4},
 	}
 }
 

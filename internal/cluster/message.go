@@ -27,6 +27,11 @@ const (
 	// MsgReply answers a round by ID with a decision or an error string
 	// (worker → coordinator).
 	MsgReply = "reply"
+	// MsgFenced rejects a dispatch from a stale leader: the worker has
+	// seen a newer fencing epoch than the one the frame carries (worker →
+	// coordinator). It echoes the round's ID and the worker's newest known
+	// epoch; the receiving coordinator must stop dispatching.
+	MsgFenced = "fenced"
 )
 
 // Message is one protocol frame. Type selects which fields are
@@ -37,6 +42,13 @@ type Message struct {
 
 	// hello: the worker's identity.
 	Worker string `json:"worker,omitempty"`
+
+	// Fencing epoch of the sending leader's lease, stamped on every
+	// welcome/assign/round; on a fenced reply it carries the worker's
+	// newest known epoch instead. Zero means "no lease configured"
+	// (single-leader deployments), which workers accept until the first
+	// nonzero epoch raises their gate.
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	// round/reply correlation; unique per connection.
 	ID uint64 `json:"id,omitempty"`

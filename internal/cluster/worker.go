@@ -7,10 +7,39 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obslog"
 )
+
+// EpochGate is a worker's fencing-epoch watermark: the newest leader
+// epoch it has seen on any connection. Frames carrying an older epoch
+// are from a deposed leader and are rejected. One gate is shared across
+// every connection a worker holds (it may dial the old leader and the
+// standby at once during a failover), so learning the new epoch on one
+// connection immediately fences the other.
+type EpochGate struct {
+	cur atomic.Uint64
+}
+
+// Admit reports whether a frame with epoch e is current, raising the
+// watermark when e is newer. Epoch 0 frames (leases not configured) are
+// admitted only while the gate has never seen a nonzero epoch.
+func (g *EpochGate) Admit(e uint64) bool {
+	for {
+		cur := g.cur.Load()
+		if e < cur {
+			return false
+		}
+		if e == cur || g.cur.CompareAndSwap(cur, e) {
+			return true
+		}
+	}
+}
+
+// Current returns the newest epoch the gate has seen.
+func (g *EpochGate) Current() uint64 { return g.cur.Load() }
 
 // WorkerOptions configures one worker connection.
 type WorkerOptions struct {
@@ -26,6 +55,10 @@ type WorkerOptions struct {
 	// Host holds the solver state. Default: a fresh empty host, which is
 	// right for everything except tests that pre-seed domains.
 	Host *SolverHost
+	// Gate is the fencing-epoch watermark, shared across connections when
+	// the worker dials several coordinator addresses. Default: a private
+	// gate for this connection.
+	Gate *EpochGate
 }
 
 // RunWorker serves one coordinator connection until it closes or ctx is
@@ -45,6 +78,10 @@ func RunWorker(ctx context.Context, conn net.Conn, opts WorkerOptions) error {
 	if host == nil {
 		host = NewSolverHost()
 	}
+	gate := opts.Gate
+	if gate == nil {
+		gate = &EpochGate{}
+	}
 	log := opts.Log.Str("worker", opts.ID)
 
 	var wmu sync.Mutex
@@ -62,11 +99,20 @@ func RunWorker(ctx context.Context, conn net.Conn, opts WorkerOptions) error {
 	if err := send(&Message{Type: MsgHello, Worker: opts.ID}); err != nil {
 		return fmt.Errorf("cluster: hello: %w", err)
 	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	welcome, err := readFrame(conn)
 	if err != nil || welcome.Type != MsgWelcome {
 		return fmt.Errorf("cluster: no welcome from coordinator (got %q): %w", welcome.Type, err)
 	}
-	log.Info().Msg("joined coordinator")
+	conn.SetReadDeadline(time.Time{})
+	if !gate.Admit(welcome.Epoch) {
+		// The whole connection belongs to a deposed leader; drop it. The
+		// redial loop in cmd/ovnes-worker will keep probing the address
+		// until a current leader answers there.
+		return fmt.Errorf("cluster: fencing: coordinator welcome carries stale leader epoch %d (newest known %d)",
+			welcome.Epoch, gate.Current())
+	}
+	log.Info().Uint64("epoch", welcome.Epoch).Msg("joined coordinator")
 
 	// Heartbeats and ctx cancellation live on a side goroutine; closing
 	// the conn is what unblocks the read loop below.
@@ -101,12 +147,28 @@ func RunWorker(ctx context.Context, conn net.Conn, opts WorkerOptions) error {
 			if msg.Spec == nil {
 				return errors.New("cluster: assign without spec")
 			}
+			if !gate.Admit(msg.Epoch) {
+				log.Warn().Str("domain", msg.Spec.Name).Uint64("epoch", msg.Epoch).
+					Uint64("newest", gate.Current()).
+					Msg("fencing: rejected domain assign from stale leader epoch")
+				continue
+			}
 			if err := host.Register(*msg.Spec); err != nil {
 				return err
 			}
 			log.Info().Str("domain", msg.Spec.Name).Str("algorithm", msg.Spec.Algorithm).
 				Msg("domain assigned")
 		case MsgRound:
+			if !gate.Admit(msg.Epoch) {
+				// Tell the stale leader why, by round ID, so its dispatch
+				// fails fast (ErrFenced) instead of timing out into a local
+				// solve it must never perform.
+				log.Warn().Str("domain", msg.Domain).Uint64("seq", msg.Seq).
+					Uint64("epoch", msg.Epoch).Uint64("newest", gate.Current()).
+					Msg("fencing: rejected round dispatch from stale leader epoch")
+				_ = send(&Message{Type: MsgFenced, ID: msg.ID, Worker: opts.ID, Epoch: gate.Current()})
+				continue
+			}
 			go func(m Message) {
 				reply := Message{Type: MsgReply, ID: m.ID}
 				dec, err := host.Solve(m.Domain, m.Events, m.Tenants)

@@ -59,6 +59,37 @@ type OrchestratorConfig struct {
 	DataDir string
 	// SnapshotEvery is the snapshot cadence in epochs; default 16.
 	SnapshotEvery int
+
+	// WALFence, when set with DataDir, is consulted by the WAL before any
+	// byte reaches the directory (wal.Options.Fence). Wire it to a leader
+	// lease Check so a deposed leader cannot write to a log its successor
+	// now owns.
+	WALFence func() error
+}
+
+func (cfg OrchestratorConfig) withDefaults() (OrchestratorConfig, error) {
+	if cfg.Net == nil {
+		return cfg, fmt.Errorf("ctrlplane: orchestrator needs a topology")
+	}
+	if cfg.KPaths == 0 {
+		cfg.KPaths = 3
+	}
+	if cfg.HWPeriod == 0 {
+		cfg.HWPeriod = 12
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "direct"
+	}
+	if cfg.Store == nil {
+		// The closed loop always reads through a store; a deployment
+		// without a collector simply leaves it empty (every slice then
+		// stays at its conservative full-SLA reservation).
+		cfg.Store = monitor.NewStore(0)
+	}
+	if cfg.DataDir != "" && cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 16
+	}
+	return cfg, nil
 }
 
 // orchSlice is the orchestrator's lifecycle state for one slice. (The
@@ -107,58 +138,26 @@ type Orchestrator struct {
 	curRep *EpochReport
 }
 
-// NewOrchestrator builds the orchestrator; it precomputes the P_{b,c} path
-// sets offline exactly as §2.1.2 prescribes, starts the admission engine,
-// and binds the closed-loop controller to it. Call Close to release the
-// engine's workers.
-func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
-	if cfg.Net == nil {
-		return nil, fmt.Errorf("ctrlplane: orchestrator needs a topology")
-	}
-	if cfg.KPaths == 0 {
-		cfg.KPaths = 3
-	}
-	if cfg.HWPeriod == 0 {
-		cfg.HWPeriod = 12
-	}
-	if cfg.Algorithm == "" {
-		cfg.Algorithm = "direct"
-	}
-	if cfg.Store == nil {
-		// The closed loop always reads through a store; a deployment
-		// without a collector simply leaves it empty (every slice then
-		// stays at its conservative full-SLA reservation).
-		cfg.Store = monitor.NewStore(0)
-	}
-	ledger := yield.NewLedger()
-
-	// Durability first: a previous process's log must be recovered before
-	// the engine starts serving, so replayed rounds run with no shard
-	// worker racing them.
-	var wstore *wal.Store
-	var recovered *wal.Recovered
-	if cfg.DataDir != "" {
-		if cfg.SnapshotEvery <= 0 {
-			cfg.SnapshotEvery = 16
-		}
-		var err error
-		wstore, recovered, err = wal.Open(wal.Options{Dir: cfg.DataDir})
-		if err != nil {
-			return nil, fmt.Errorf("ctrlplane: %w", err)
-		}
-	}
-
+// buildCore constructs the orchestrator shell — engine (domain added, NOT
+// started), closed-loop controller, ledger, path sets — with lg as the
+// durability seam: nil for a memory-only orchestrator, a swapLog for both
+// the leader (inner store set before any append) and a standby (inner nil
+// while tail-replaying, set at promotion). Opening/recovering the WAL and
+// starting the engine are the caller's half.
+func buildCore(cfg OrchestratorConfig, lg *swapLog) (*Orchestrator, error) {
 	engCfg := admission.Config{
 		Shards:     cfg.Shards,
 		QueueDepth: cfg.QueueDepth,
 		TenantCap:  cfg.TenantCap,
 		Store:      cfg.Store,
-		Ledger:     ledger,
+		Ledger:     nil, // set below
 	}
-	if wstore != nil {
-		// Assigned only when non-nil: a nil *wal.Store in the interface
-		// field would read as "logging enabled" to the engine.
-		engCfg.Log = wstore
+	ledger := yield.NewLedger()
+	engCfg.Ledger = ledger
+	if lg != nil {
+		// Assigned only when non-nil: a nil concrete value in the
+		// interface field would read as "logging enabled" to the engine.
+		engCfg.Log = lg
 	}
 	eng := admission.New(engCfg)
 	if err := eng.AddDomain(admission.DefaultDomain, admission.DomainConfig{
@@ -182,7 +181,6 @@ func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
 		client: &http.Client{Timeout: 10 * time.Second},
 		eng:    eng,
 		ledger: ledger,
-		wal:    wstore,
 		slices: map[string]*orchSlice{},
 	}
 	loopCfg := reopt.Config{
@@ -192,62 +190,106 @@ func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
 		HWPeriod: cfg.HWPeriod,
 		OnRound:  o.programRound,
 	}
-	if wstore != nil {
-		loopCfg.Log = wstore
+	if lg != nil {
+		loopCfg.Log = lg
 		loopCfg.SnapshotEvery = cfg.SnapshotEvery
 		loopCfg.Snapshot = func(cs reopt.ControllerState) error {
+			st := lg.store()
+			if st == nil {
+				return nil // standby: snapshots are the leader's job
+			}
 			snap, err := wal.BuildSnapshot(eng, []string{admission.DefaultDomain}, []reopt.ControllerState{cs}, ledger)
 			if err != nil {
 				return err
 			}
-			return wstore.WriteSnapshot(snap)
+			return st.WriteSnapshot(snap)
 		}
 	}
 	loop, err := reopt.New(loopCfg)
 	if err != nil {
-		if wstore != nil {
-			wstore.Close()
-		}
 		return nil, fmt.Errorf("ctrlplane: %w", err)
 	}
 	o.loop = loop
+	return o, nil
+}
+
+// adoptCommitted rebuilds the REST registry from the engine's recovered
+// committed state. The registry of terminated slices (rejected, expired)
+// is serving history, not decision state, and is deliberately not
+// durable. The data plane self-heals on the first epoch: programRound
+// pushes every accepted slice's reservation southbound each round.
+func (o *Orchestrator) adoptCommitted() error {
+	committed, err := o.eng.CommittedDetail(admission.DefaultDomain)
+	if err != nil {
+		return err
+	}
+	for _, m := range committed {
+		o.slices[m.Name] = &orchSlice{
+			req: SliceRequest{
+				Name: m.Name, Tenant: m.Tenant,
+				Type:           m.SLA.Type.String(),
+				DurationEpochs: m.SLA.Duration,
+			},
+			tmpl:      m.SLA.Template,
+			sla:       m.SLA,
+			state:     "active",
+			cu:        m.CU,
+			reserved:  append([]float64(nil), m.Reserved...),
+			remaining: m.Remaining,
+			arrival:   o.epoch - (m.SLA.Duration - m.Remaining),
+		}
+		o.order = append(o.order, m.Name)
+	}
+	return nil
+}
+
+// NewOrchestrator builds the orchestrator; it precomputes the P_{b,c} path
+// sets offline exactly as §2.1.2 prescribes, starts the admission engine,
+// and binds the closed-loop controller to it. Call Close to release the
+// engine's workers.
+func NewOrchestrator(cfg OrchestratorConfig) (*Orchestrator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// Durability first: a previous process's log must be recovered before
+	// the engine starts serving, so replayed rounds run with no shard
+	// worker racing them.
+	var wstore *wal.Store
+	var recovered *wal.Recovered
+	var lg *swapLog
+	if cfg.DataDir != "" {
+		wstore, recovered, err = wal.Open(wal.Options{Dir: cfg.DataDir, Fence: cfg.WALFence})
+		if err != nil {
+			return nil, fmt.Errorf("ctrlplane: %w", err)
+		}
+		lg = &swapLog{}
+		lg.set(wstore)
+	}
+
+	o, err := buildCore(cfg, lg)
+	if err != nil {
+		if wstore != nil {
+			wstore.Close()
+		}
+		return nil, err
+	}
+	o.wal = wstore
 	if wstore != nil {
-		rep, err := wal.Recover(wstore, recovered, wal.Target{Engine: eng, Controller: loop, Ledger: ledger})
+		rep, err := wal.Recover(wstore, recovered, wal.Target{Engine: o.eng, Controller: o.loop, Ledger: o.ledger})
 		if err != nil {
 			wstore.Close()
 			return nil, fmt.Errorf("ctrlplane: recovery: %w", err)
 		}
 		o.recovery = rep
-		o.epoch = loop.Epoch()
-		// Rebuild the REST registry from the recovered committed state. The
-		// registry of terminated slices (rejected, expired) is serving
-		// history, not decision state, and is deliberately not durable.
-		// The data plane self-heals on the first epoch: programRound
-		// pushes every accepted slice's reservation southbound each round.
-		committed, err := eng.CommittedDetail(admission.DefaultDomain)
-		if err != nil {
+		o.epoch = o.loop.Epoch()
+		if err := o.adoptCommitted(); err != nil {
 			wstore.Close()
 			return nil, err
 		}
-		for _, m := range committed {
-			o.slices[m.Name] = &orchSlice{
-				req: SliceRequest{
-					Name: m.Name, Tenant: m.Tenant,
-					Type:           m.SLA.Type.String(),
-					DurationEpochs: m.SLA.Duration,
-				},
-				tmpl:      m.SLA.Template,
-				sla:       m.SLA,
-				state:     "active",
-				cu:        m.CU,
-				reserved:  append([]float64(nil), m.Reserved...),
-				remaining: m.Remaining,
-				arrival:   o.epoch - (m.SLA.Duration - m.Remaining),
-			}
-			o.order = append(o.order, m.Name)
-		}
 	}
-	if err := eng.Start(); err != nil {
+	if err := o.eng.Start(); err != nil {
 		if wstore != nil {
 			wstore.Close()
 		}

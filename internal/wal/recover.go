@@ -43,6 +43,95 @@ type Report struct {
 	CompletedAdvance []string
 }
 
+// normalized applies Target defaults.
+func (t Target) normalized() Target {
+	if t.ControllerDomain == "" {
+		t.ControllerDomain = admission.DefaultDomain
+	}
+	return t
+}
+
+// ctrlFor resolves the controller replaying domain's records, if any.
+func (t Target) ctrlFor(domain string) *reopt.Controller {
+	if t.Controller != nil && domain == t.ControllerDomain {
+		return t.Controller
+	}
+	return nil
+}
+
+// restoreSnapshot loads a durable image into the (virgin) target.
+func restoreSnapshot(t Target, snap *Snapshot) error {
+	if t.Ledger != nil {
+		t.Ledger.RestoreState(snap.Ledger)
+	}
+	for _, ds := range snap.Domains {
+		if err := t.Engine.RestoreDomain(ds); err != nil {
+			return err
+		}
+	}
+	if t.Controller != nil {
+		for _, cs := range snap.Controllers {
+			if cs.Domain == t.ControllerDomain {
+				if err := t.Controller.RestoreState(cs); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// replayOne applies one committed record through the same code paths a
+// live step runs. Shared by crash recovery (Recover) and the standby
+// tail-replay (Replayer) — one apply semantics, two feeding disciplines.
+func replayOne(t Target, r Record) error {
+	switch r.Kind {
+	case KindSettle:
+		if c := t.ctrlFor(r.Domain); c != nil {
+			c.ReplaySettle(r.Entries)
+		} else if t.Ledger != nil {
+			for _, e := range r.Entries {
+				t.Ledger.Book(e)
+			}
+		}
+		return nil
+	case KindObserve:
+		if c := t.ctrlFor(r.Domain); c != nil {
+			return c.ReplayObserve(r.Epoch, r.Alive, r.Peaks)
+		}
+		return nil
+	case KindForecasts:
+		return t.Engine.UpdateForecasts(r.Domain, r.Forecasts)
+	case KindRound:
+		// A returned round may carry a solver error; the original round
+		// failed identically and decided nothing, so replay continues.
+		if _, err := t.Engine.ReplayRound(r.Domain, r.Seq, r.Batch); err != nil {
+			return err
+		}
+		if c := t.ctrlFor(r.Domain); c != nil {
+			return c.ReplayRoundDone()
+		}
+		return nil
+	case KindAdvance:
+		if _, err := t.Engine.Advance(r.Domain); err != nil {
+			return err
+		}
+		if c := t.ctrlFor(r.Domain); c != nil {
+			c.ReplayAdvanced()
+		}
+		return nil
+	case KindTopology:
+		// Fsynced at append time and never held back: the capacity
+		// trajectory re-applies through the live path (appends are
+		// suppressed while recovering).
+		return t.Engine.ApplyTopology(r.Domain, r.Events)
+	case KindHandover:
+		return t.Engine.Handover(r.Domain, r.To, r.Name)
+	default:
+		return fmt.Errorf("wal: unknown record kind %q", r.Kind)
+	}
+}
+
 // Recover rebuilds live state from what Open found: restore the snapshot,
 // replay the committed log suffix through the real engine/controller code
 // paths, truncate the uncommitted tail, and deterministically complete a
@@ -52,35 +141,13 @@ func Recover(s *Store, rec *Recovered, t Target) (*Report, error) {
 	if t.Engine == nil {
 		return nil, fmt.Errorf("wal: recovery needs an engine")
 	}
-	if t.ControllerDomain == "" {
-		t.ControllerDomain = admission.DefaultDomain
-	}
-	ctrlFor := func(domain string) *reopt.Controller {
-		if t.Controller != nil && domain == t.ControllerDomain {
-			return t.Controller
-		}
-		return nil
-	}
+	t = t.normalized()
 	rep := &Report{}
 
 	if rec.Snapshot != nil {
 		rep.SnapshotLSN = rec.Snapshot.LSN
-		if t.Ledger != nil {
-			t.Ledger.RestoreState(rec.Snapshot.Ledger)
-		}
-		for _, ds := range rec.Snapshot.Domains {
-			if err := t.Engine.RestoreDomain(ds); err != nil {
-				return nil, err
-			}
-		}
-		if t.Controller != nil {
-			for _, cs := range rec.Snapshot.Controllers {
-				if cs.Domain == t.ControllerDomain {
-					if err := t.Controller.RestoreState(cs); err != nil {
-						return nil, err
-					}
-				}
-			}
+		if err := restoreSnapshot(t, rec.Snapshot); err != nil {
+			return nil, err
 		}
 	}
 
@@ -132,53 +199,14 @@ func Recover(s *Store, rec *Recovered, t Target) (*Report, error) {
 	s.BeginRecovery()
 	lastKind := make(map[string]string)
 	for _, pr := range records {
-		r := pr.Rec
-		var err error
-		switch r.Kind {
-		case KindSettle:
-			if c := ctrlFor(r.Domain); c != nil {
-				c.ReplaySettle(r.Entries)
-			} else if t.Ledger != nil {
-				for _, e := range r.Entries {
-					t.Ledger.Book(e)
-				}
-			}
-		case KindObserve:
-			if c := ctrlFor(r.Domain); c != nil {
-				err = c.ReplayObserve(r.Epoch, r.Alive, r.Peaks)
-			}
-		case KindForecasts:
-			err = t.Engine.UpdateForecasts(r.Domain, r.Forecasts)
-		case KindRound:
-			// A returned round may carry a solver error; the original round
-			// failed identically and decided nothing, so replay continues.
-			if _, err = t.Engine.ReplayRound(r.Domain, r.Seq, r.Batch); err == nil {
-				rep.Rounds++
-				if c := ctrlFor(r.Domain); c != nil {
-					err = c.ReplayRoundDone()
-				}
-			}
-		case KindAdvance:
-			if _, err = t.Engine.Advance(r.Domain); err == nil {
-				if c := ctrlFor(r.Domain); c != nil {
-					c.ReplayAdvanced()
-				}
-			}
-		case KindTopology:
-			// Fsynced at append time and never held back: the capacity
-			// trajectory re-applies through the live path (appends are
-			// suppressed while recovering).
-			err = t.Engine.ApplyTopology(r.Domain, r.Events)
-		case KindHandover:
-			err = t.Engine.Handover(r.Domain, r.To, r.Name)
-		default:
-			err = fmt.Errorf("wal: unknown record kind %q", r.Kind)
-		}
-		if err != nil {
+		if err := replayOne(t, pr.Rec); err != nil {
 			s.EndRecovery()
 			return nil, fmt.Errorf("wal: replay at LSN %d: %w", pr.LSN, err)
 		}
-		lastKind[r.Domain] = r.Kind
+		if pr.Rec.Kind == KindRound {
+			rep.Rounds++
+		}
+		lastKind[pr.Rec.Domain] = pr.Rec.Kind
 		rep.Applied++
 	}
 	s.EndRecovery()
@@ -198,7 +226,7 @@ func Recover(s *Store, rec *Recovered, t Target) (*Report, error) {
 		if _, err := t.Engine.Advance(domain); err != nil {
 			return nil, fmt.Errorf("wal: completing advance for domain %q: %w", domain, err)
 		}
-		if c := ctrlFor(domain); c != nil {
+		if c := t.ctrlFor(domain); c != nil {
 			c.ReplayAdvanced()
 		}
 		rep.CompletedAdvance = append(rep.CompletedAdvance, domain)

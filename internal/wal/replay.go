@@ -1,0 +1,186 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Replayer applies a live record stream (a Tailer's output) to a Target
+// incrementally, with the same hold-back semantics Recover applies in
+// batch: a step's settle/observe/forecasts prefix stays pending until the
+// step's round arrives behind it. That is what keeps a standby's state a
+// function of *committed* decisions only — a prefix whose round never
+// lands is a crashed leader's residue, and Finalize truncates it exactly
+// as crash recovery would.
+//
+// Feeding discipline: Bootstrap (optionally) with the tail's snapshot,
+// then Ingest every record in LSN order. Records below the high-water
+// mark are skipped, so at promotion the caller can replay Open's
+// Recovered.Records wholesale without tracking what the tail already
+// delivered. Finalize is promotion: truncate the pending residue and
+// complete a trailing round-without-advance, against the now-writable
+// Store.
+type Replayer struct {
+	t       Target
+	pending map[string][]PositionedRecord
+	pend    int
+	last    map[string]string // last applied kind per domain
+
+	seen       uint64 // next unseen LSN
+	maxApplied uint64
+	anyApplied bool
+	rep        Report
+}
+
+// NewReplayer builds a replayer over a freshly constructed, un-started
+// target (same contract as Recover: ReplayRound requires the engine to
+// have never run).
+func NewReplayer(t Target) (*Replayer, error) {
+	if t.Engine == nil {
+		return nil, fmt.Errorf("wal: replayer needs an engine")
+	}
+	return &Replayer{
+		t:       t.normalized(),
+		pending: map[string][]PositionedRecord{},
+		last:    map[string]string{},
+	}, nil
+}
+
+// Bootstrap restores the tail's snapshot and positions the replayer at
+// its LSN. Call at most once, before any Ingest.
+func (r *Replayer) Bootstrap(snap *Snapshot) error {
+	if snap == nil {
+		return nil
+	}
+	if r.seen != 0 || r.anyApplied {
+		return fmt.Errorf("wal: replayer bootstrap after records were ingested")
+	}
+	if err := restoreSnapshot(r.t, snap); err != nil {
+		return err
+	}
+	r.seen = snap.LSN
+	r.rep.SnapshotLSN = snap.LSN
+	return nil
+}
+
+// SeenLSN returns the next LSN Ingest expects (everything below it has
+// been ingested or was folded into the bootstrap snapshot).
+func (r *Replayer) SeenLSN() uint64 { return r.seen }
+
+// Pending counts records held back waiting for their step's round.
+func (r *Replayer) Pending() int { return r.pend }
+
+// Rounds counts the rounds applied so far.
+func (r *Replayer) Rounds() int { return r.rep.Rounds }
+
+func (r *Replayer) apply(pr PositionedRecord) error {
+	if err := replayOne(r.t, pr.Rec); err != nil {
+		return fmt.Errorf("wal: replay at LSN %d: %w", pr.LSN, err)
+	}
+	if pr.Rec.Kind == KindRound {
+		r.rep.Rounds++
+	}
+	r.last[pr.Rec.Domain] = pr.Rec.Kind
+	r.maxApplied, r.anyApplied = pr.LSN, true
+	r.rep.Applied++
+	return nil
+}
+
+// Ingest feeds one record in LSN order. Records below the high-water mark
+// are skipped (idempotent re-delivery); a gap above it is an error.
+func (r *Replayer) Ingest(pr PositionedRecord) error {
+	if pr.LSN < r.seen {
+		return nil
+	}
+	if pr.LSN != r.seen {
+		return fmt.Errorf("wal: replayer gap: got LSN %d, want %d", pr.LSN, r.seen)
+	}
+	r.seen++
+	switch pr.Rec.Kind {
+	case KindSettle, KindObserve, KindForecasts:
+		// Step prefix: pends until this domain's round commits it.
+		r.pending[pr.Rec.Domain] = append(r.pending[pr.Rec.Domain], pr)
+		r.pend++
+		return nil
+	case KindRound:
+		// The commit point: the pending prefix is durable-behind-a-round
+		// now, so it applies, then the round itself.
+		for _, p := range r.pending[pr.Rec.Domain] {
+			if err := r.apply(p); err != nil {
+				return err
+			}
+			r.pend--
+		}
+		delete(r.pending, pr.Rec.Domain)
+		return r.apply(pr)
+	case KindAdvance:
+		// An advance always rides behind its round in the same group
+		// commit; a pending prefix here means the log is malformed.
+		if len(r.pending[pr.Rec.Domain]) > 0 {
+			return fmt.Errorf("wal: replayer: advance at LSN %d over a pending step prefix in domain %q", pr.LSN, pr.Rec.Domain)
+		}
+		return r.apply(pr)
+	default:
+		// Topology/handover records are fsynced at append time and are
+		// not part of a step's prefix: they apply immediately. One is
+		// allowed to interleave a pending prefix (its fsync can land
+		// between a step's settle and round appends); rounds replayed
+		// later still observe it in log order, and settle/observe do not
+		// read the state it mutates.
+		return r.apply(pr)
+	}
+}
+
+// Finalize is the promotion step, run once the dead leader's log has been
+// fully ingested and s (the same directory, now opened for writing by the
+// about-to-be leader) is accepting appends. The pending residue — step
+// prefixes whose round never became durable — is physically truncated,
+// and a trailing round-without-advance is completed and re-logged, both
+// exactly as Recover does after a crash. The returned Report summarizes
+// the whole replay since Bootstrap.
+func (r *Replayer) Finalize(s *Store) (*Report, error) {
+	if r.pend > 0 {
+		first := uint64(0)
+		got := false
+		for _, prs := range r.pending {
+			for _, pr := range prs {
+				if !got || pr.LSN < first {
+					first, got = pr.LSN, true
+				}
+			}
+		}
+		if r.anyApplied && r.maxApplied > first {
+			// Same refusal as Recover: committed records landed after an
+			// uncommitted prefix (multi-domain interleave), so the residue
+			// is not the physical tail and cannot be truncated.
+			return nil, fmt.Errorf("wal: committed record at LSN %d after uncommitted tail starting at LSN %d (multi-domain interleave); cannot truncate", r.maxApplied, first)
+		}
+		if err := s.TruncateTail(first); err != nil {
+			return nil, err
+		}
+		r.rep.HeldBack = r.pend
+		r.pending = map[string][]PositionedRecord{}
+		r.pend = 0
+		r.seen = first
+	}
+
+	var complete []string
+	for domain, k := range r.last {
+		if k == KindRound {
+			complete = append(complete, domain)
+		}
+	}
+	sort.Strings(complete)
+	for _, domain := range complete {
+		if _, err := r.t.Engine.Advance(domain); err != nil {
+			return nil, fmt.Errorf("wal: completing advance for domain %q: %w", domain, err)
+		}
+		if c := r.t.ctrlFor(domain); c != nil {
+			c.ReplayAdvanced()
+		}
+		r.last[domain] = KindAdvance
+		r.rep.CompletedAdvance = append(r.rep.CompletedAdvance, domain)
+	}
+	rep := r.rep
+	return &rep, nil
+}

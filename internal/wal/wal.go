@@ -30,6 +30,13 @@ type Options struct {
 	// NoSync drops the fsync from Sync (the buffered flush remains) —
 	// for benchmarks and tests where media durability is irrelevant.
 	NoSync bool
+	// Fence, when set, is consulted before any byte can reach the
+	// directory (every append, sync, and snapshot). A non-nil return
+	// permanently poisons the store: all further writes fail. This is the
+	// storage half of leader fencing — a deposed leader sharing the
+	// directory with its successor must not scribble on a log it no
+	// longer owns (cluster.Lease.Check is the intended implementation).
+	Fence func() error
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -97,7 +104,8 @@ type Store struct {
 	next       uint64 // LSN the next append gets
 	recovering bool
 	closed     bool
-	appended   bool // any append since Open (freezes the truncation index)
+	appended   bool  // any append since Open (freezes the truncation index)
+	poisoned   error // first fence failure; permanent
 }
 
 // writerBytes sizes the append buffer. Generously larger than a typical
@@ -255,6 +263,9 @@ func (s *Store) append(rec *Record) error {
 	if s.closed {
 		return fmt.Errorf("wal: store is closed")
 	}
+	if err := s.fenceLocked(); err != nil {
+		return err
+	}
 	active := &s.segs[len(s.segs)-1]
 	if active.size >= s.opt.SegmentBytes {
 		if err := s.rotateLocked(); err != nil {
@@ -288,9 +299,31 @@ func (s *Store) rotateLocked() error {
 	return s.openSegmentLocked(s.next)
 }
 
+// fenceLocked runs the fence hook; a failure poisons the store for good.
+// Caller holds s.mu. The check sits on every path that pushes bytes
+// toward the directory (append, sync, snapshot): under log-before-ack
+// the round record syncs before any dispatch or ack, so a deposed leader
+// dies here before it can decide anything its successor wouldn't.
+func (s *Store) fenceLocked() error {
+	if s.poisoned != nil {
+		return s.poisoned
+	}
+	if s.opt.Fence == nil {
+		return nil
+	}
+	if err := s.opt.Fence(); err != nil {
+		s.poisoned = fmt.Errorf("wal: fenced: %w", err)
+		return s.poisoned
+	}
+	return nil
+}
+
 // syncLocked flushes the append buffer and (unless NoSync) fsyncs the
 // active segment. Caller holds s.mu.
 func (s *Store) syncLocked() error {
+	if err := s.fenceLocked(); err != nil {
+		return err
+	}
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -376,6 +409,9 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("wal: store is closed")
+	}
+	if err := s.fenceLocked(); err != nil {
+		return err
 	}
 	if err := s.syncLocked(); err != nil {
 		return err
