@@ -14,10 +14,17 @@
 // (BENCH_PR3.json onward) makes the perf trajectory diffable instead of
 // being archaeology over CI logs.
 //
-// Compare mode prints a per-benchmark ns/op delta table between a baseline
-// file and a new file, and exits nonzero when any benchmark named in -hot
-// is missing from either file or regressed by more than -threshold
-// (default 15%). The files must come from the same machine and the same
+// Compare mode prints a per-benchmark ns/op + allocs/op delta table
+// between a baseline file and a new file, and exits nonzero when any
+// benchmark named in -hot is missing from the new file, absent from both
+// files, regressed in ns/op by more than -threshold (default 15%, only
+// gated when the baseline is at least -floor ns/op — sub-millisecond
+// one-shot timings are too noisy to gate), or broke a zero-alloc pin
+// (0 allocs/op in the baseline, nonzero now — exact, not thresholded;
+// nonzero counts are reported, not gated). A hot
+// benchmark present only in the new file is reported as "(new)" and not
+// gated: that is the rotation step that introduces a benchmark together
+// with its first baseline. The files must come from the same machine and the same
 // pinned `make bench-json` settings (fixed GOMAXPROCS, fixed -benchtime)
 // for the comparison to mean anything; CI regenerates the new file in the
 // same job that gates on it.
@@ -147,6 +154,7 @@ func compare(args []string) int {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.15, "max tolerated ns/op regression of a hot benchmark (fraction)")
 	hot := fs.String("hot", "", "comma-separated benchmark names gated against the threshold")
+	floor := fs.Float64("floor", 1e6, "ns/op below which a hot benchmark's timing is too noisy to gate (allocs/op still gated)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -181,7 +189,7 @@ func compare(args []string) int {
 	}
 	sort.Strings(keys)
 
-	fmt.Printf("%-55s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	fmt.Printf("%-55s %14s %14s %9s %16s\n", "benchmark", "base ns/op", "new ns/op", "delta", "allocs/op")
 	failed := false
 	seenHot := map[string]bool{}
 	for _, k := range keys {
@@ -194,7 +202,7 @@ func compare(args []string) int {
 			seenHot[n] = true
 		}
 		if !ok {
-			fmt.Printf("%-55s %14.0f %14s %9s%s\n", n, b.NsPerOp, "missing", "-", marker)
+			fmt.Printf("%-55s %14.0f %14s %9s %16s%s\n", n, b.NsPerOp, "missing", "-", "-", marker)
 			if hotSet[n] {
 				fmt.Printf("FAIL: hot benchmark %s missing from %s\n", n, fs.Arg(1))
 				failed = true
@@ -205,16 +213,33 @@ func compare(args []string) int {
 		if b.NsPerOp > 0 {
 			delta = (nw.NsPerOp - b.NsPerOp) / b.NsPerOp
 		}
-		fmt.Printf("%-55s %14.0f %14.0f %+8.1f%%%s\n", n, b.NsPerOp, nw.NsPerOp, delta*100, marker)
-		if hotSet[n] && delta > *threshold {
+		fmt.Printf("%-55s %14.0f %14.0f %+8.1f%% %16s%s\n",
+			n, b.NsPerOp, nw.NsPerOp, delta*100, allocsCell(b, nw), marker)
+		// The ns/op gate only applies above the noise floor: one-shot
+		// timings of sub-millisecond benchmarks swing tens of percent on
+		// timer noise alone, so a microsecond-scale hot benchmark is held
+		// to its allocation pin below, not its wall clock.
+		if hotSet[n] && delta > *threshold && b.NsPerOp >= *floor {
 			fmt.Printf("FAIL: hot benchmark %s regressed %.1f%% (> %.0f%% threshold)\n",
 				n, delta*100, *threshold*100)
 			failed = true
 		}
+		// Allocation gate: a hot benchmark pinned at 0 allocs/op must stay
+		// there — the warm-path zero-alloc contract is exact, not
+		// thresholded. Nonzero counts are reported in the table but not
+		// gated: allocation totals legitimately trade against wall-clock
+		// (which the ns/op gate above holds), while 0 → anything means a
+		// steady-state path started allocating.
+		if ba, na, both := allocsOf(b, nw); hotSet[n] && both && ba == 0 && na > 0 {
+			fmt.Printf("FAIL: hot benchmark %s was 0 allocs/op, now %.0f\n", n, na)
+			failed = true
+		}
 	}
 	// Benchmarks present only in the new file (added since the baseline):
-	// reported so the table reflects full coverage, never gated — there is
-	// nothing to regress from.
+	// reported so the table reflects full coverage, never ns/op-gated —
+	// there is nothing to regress from. A hot benchmark may appear here
+	// exactly once, on the PR that introduces it together with its first
+	// baseline; the next rotation starts gating it.
 	newKeys := make([]string, 0)
 	for k := range nextBy {
 		if _, ok := baseBy[k]; !ok {
@@ -224,12 +249,17 @@ func compare(args []string) int {
 	sort.Strings(newKeys)
 	for _, k := range newKeys {
 		nw := nextBy[k]
-		fmt.Printf("%-55s %14s %14.0f %9s\n", nw.Name, "(new)", nw.NsPerOp, "-")
+		marker := ""
+		if hotSet[nw.Name] {
+			marker = " [hot]"
+			seenHot[nw.Name] = true
+		}
+		fmt.Printf("%-55s %14s %14.0f %9s %16s%s\n", nw.Name, "(new)", nw.NsPerOp, "-", allocsCell(Result{}, nw), marker)
 	}
 
 	for n := range hotSet {
 		if !seenHot[n] {
-			fmt.Printf("FAIL: hot benchmark %s not present in %s\n", n, fs.Arg(0))
+			fmt.Printf("FAIL: hot benchmark %s not present in %s or %s\n", n, fs.Arg(0), fs.Arg(1))
 			failed = true
 		}
 	}
@@ -238,6 +268,27 @@ func compare(args []string) int {
 	}
 	fmt.Println("benchjson compare: no hot-benchmark regressions")
 	return 0
+}
+
+// allocsOf extracts the allocs/op metric from both sides of a comparison
+// row; both is true only when the two files recorded it (bench-json runs
+// with -benchmem, but older baselines or hand-captured files may not).
+func allocsOf(b, nw Result) (ba, na float64, both bool) {
+	ba, bok := b.Metrics["allocs/op"]
+	na, nok := nw.Metrics["allocs/op"]
+	return ba, na, bok && nok
+}
+
+// allocsCell renders the allocs/op table column as `base→new`, with `-`
+// standing in for a side that did not record the metric.
+func allocsCell(b, nw Result) string {
+	cell := func(r Result) string {
+		if v, ok := r.Metrics["allocs/op"]; ok {
+			return strconv.FormatFloat(v, 'f', -1, 64)
+		}
+		return "-"
+	}
+	return cell(b) + "→" + cell(nw)
 }
 
 // indexByPkgName keys results by package plus benchmark name (with

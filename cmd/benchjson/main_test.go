@@ -77,9 +77,11 @@ func writeDoc(t *testing.T, dir, name string, results []Result) string {
 
 func TestCompareGate(t *testing.T) {
 	dir := t.TempDir()
+	// ns/op values sit above compare's default 1ms noise floor so the
+	// timing gate is live.
 	base := writeDoc(t, dir, "base.json", []Result{
-		{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1000},
-		{Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500},
+		{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 10_000_000},
+		{Pkg: "p", Name: "BenchmarkCold", NsPerOp: 5_000_000},
 	})
 
 	cases := []struct {
@@ -90,39 +92,45 @@ func TestCompareGate(t *testing.T) {
 	}{
 		{
 			name: "improvement passes",
-			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 400}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500}},
+			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 4_000_000}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 5_000_000}},
 			args: []string{"-hot", "BenchmarkHot"},
 			want: 0,
 		},
 		{
 			name: "small regression within threshold passes",
-			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1100}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500}},
+			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 11_000_000}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 5_000_000}},
 			args: []string{"-hot", "BenchmarkHot"},
 			want: 0,
 		},
 		{
 			name: "hot regression beyond threshold fails",
-			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1200}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500}},
+			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 12_000_000}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 5_000_000}},
 			args: []string{"-hot", "BenchmarkHot"},
 			want: 1,
 		},
 		{
 			name: "cold regression is reported but not gated",
-			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1000}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 5000}},
+			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 10_000_000}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 50_000_000}},
 			args: []string{"-hot", "BenchmarkHot"},
 			want: 0,
 		},
 		{
 			name: "missing hot benchmark fails",
-			next: []Result{{Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500}},
+			next: []Result{{Pkg: "p", Name: "BenchmarkCold", NsPerOp: 5_000_000}},
 			args: []string{"-hot", "BenchmarkHot"},
 			want: 1,
 		},
 		{
 			name: "custom threshold",
-			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1400}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 500}},
+			next: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 14_000_000}, {Pkg: "p", Name: "BenchmarkCold", NsPerOp: 5_000_000}},
 			args: []string{"-hot", "BenchmarkHot", "-threshold", "0.5"},
 			want: 0,
+		},
+		{
+			name: "hot benchmark absent from both files fails",
+			next: []Result{{Pkg: "p", Name: "BenchmarkCold", NsPerOp: 5_000_000}},
+			args: []string{"-hot", "BenchmarkNowhere"},
+			want: 1,
 		},
 	}
 	for i, tc := range cases {
@@ -142,12 +150,12 @@ func TestCompareGate(t *testing.T) {
 func TestComparePkgCollision(t *testing.T) {
 	dir := t.TempDir()
 	base := writeDoc(t, dir, "cbase.json", []Result{
-		{Pkg: "repro/internal/lp", Name: "BenchmarkSolve", NsPerOp: 1000},
-		{Pkg: "repro/internal/milp", Name: "BenchmarkSolve", NsPerOp: 1000},
+		{Pkg: "repro/internal/lp", Name: "BenchmarkSolve", NsPerOp: 10_000_000},
+		{Pkg: "repro/internal/milp", Name: "BenchmarkSolve", NsPerOp: 10_000_000},
 	})
 	next := writeDoc(t, dir, "cnext.json", []Result{
-		{Pkg: "repro/internal/lp", Name: "BenchmarkSolve", NsPerOp: 100},    // big improvement
-		{Pkg: "repro/internal/milp", Name: "BenchmarkSolve", NsPerOp: 2000}, // big regression
+		{Pkg: "repro/internal/lp", Name: "BenchmarkSolve", NsPerOp: 1_000_000},    // big improvement
+		{Pkg: "repro/internal/milp", Name: "BenchmarkSolve", NsPerOp: 20_000_000}, // big regression
 	})
 	if got := compare([]string{"-hot", "BenchmarkSolve", base, next}); got != 1 {
 		t.Fatalf("compare exit = %d, want 1 (the milp regression must not be masked by the lp improvement)", got)
@@ -167,5 +175,152 @@ func TestCompareReportsNewBenchmarks(t *testing.T) {
 	})
 	if got := compare([]string{"-hot", "BenchmarkHot", base, next}); got != 0 {
 		t.Fatalf("compare exit = %d, want 0 (a new benchmark must not fail the gate)", got)
+	}
+}
+
+// TestCompareNewHotBenchmarkPasses: a hot benchmark present only in the
+// new file is the rotation step that introduces it with its first
+// baseline — reported as "(new)", not a failure. Only total absence (in
+// neither file) fails.
+func TestCompareNewHotBenchmarkPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "hbase.json", []Result{
+		{Pkg: "p", Name: "BenchmarkOld", NsPerOp: 1000},
+	})
+	next := writeDoc(t, dir, "hnext.json", []Result{
+		{Pkg: "p", Name: "BenchmarkOld", NsPerOp: 1000},
+		{Pkg: "p", Name: "BenchmarkFreshHot", NsPerOp: 250,
+			Metrics: map[string]float64{"allocs/op": 0}},
+	})
+	if got := compare([]string{"-hot", "BenchmarkFreshHot", base, next}); got != 0 {
+		t.Fatalf("compare exit = %d, want 0 (hot benchmark new in this rotation must pass)", got)
+	}
+}
+
+// TestCompareAllocGate: a hot benchmark's 0 allocs/op pin must stay at 0
+// exactly; nonzero counts are reported but not gated (they trade
+// legitimately against wall clock, which the ns/op gate holds). Benchmarks
+// without the metric on both sides are not alloc-gated.
+func TestCompareAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	withAllocs := func(ns, allocs float64) Result {
+		return Result{Pkg: "p", Name: "BenchmarkHot", NsPerOp: ns,
+			Metrics: map[string]float64{"allocs/op": allocs, "B/op": allocs * 16}}
+	}
+	cases := []struct {
+		name       string
+		base, next []Result
+		args       []string
+		want       int
+	}{
+		{
+			name: "zero-alloc pin regressing to nonzero fails",
+			base: []Result{withAllocs(1000, 0)},
+			next: []Result{withAllocs(1000, 3)},
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 1,
+		},
+		{
+			name: "zero-alloc pin holding at zero passes",
+			base: []Result{withAllocs(1000, 0)},
+			next: []Result{withAllocs(1000, 0)},
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 0,
+		},
+		{
+			name: "nonzero alloc growth is reported but not gated",
+			base: []Result{withAllocs(1000, 100)},
+			next: []Result{withAllocs(1000, 160)},
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 0,
+		},
+		{
+			name: "alloc improvement passes",
+			base: []Result{withAllocs(1000, 100)},
+			next: []Result{withAllocs(1000, 10)},
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 0,
+		},
+		{
+			name: "missing allocs metric is not alloc-gated",
+			base: []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: 1000}},
+			next: []Result{withAllocs(1000, 500)},
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 0,
+		},
+		{
+			name: "cold benchmark alloc regression is not gated",
+			base: []Result{withAllocs(1000, 0)},
+			next: []Result{withAllocs(1000, 50)},
+			args: []string{"-hot", ""},
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := writeDoc(t, dir, "abase.json", tc.base)
+			next := writeDoc(t, dir, "anext.json", tc.next)
+			args := append(append([]string{}, tc.args...), base, next)
+			if got := compare(args); got != tc.want {
+				t.Fatalf("compare exit = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompareNoiseFloor: a hot benchmark whose baseline sits below the
+// noise floor is not timing-gated (one-shot microsecond timings swing on
+// timer noise), but its zero-alloc pin still is; -floor 0 restores full
+// timing gating.
+func TestCompareNoiseFloor(t *testing.T) {
+	dir := t.TempDir()
+	micro := func(ns, allocs float64) []Result {
+		return []Result{{Pkg: "p", Name: "BenchmarkHot", NsPerOp: ns,
+			Metrics: map[string]float64{"allocs/op": allocs}}}
+	}
+	cases := []struct {
+		name       string
+		base, next []Result
+		args       []string
+		want       int
+	}{
+		{
+			name: "sub-floor timing swing passes",
+			base: micro(7_000, 0),
+			next: micro(21_000, 0), // 3x, but 21µs one-shot is noise
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 0,
+		},
+		{
+			name: "sub-floor zero-alloc regression still fails",
+			base: micro(7_000, 0),
+			next: micro(7_000, 2),
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 1,
+		},
+		{
+			name: "floor zero gates everything",
+			base: micro(7_000, 0),
+			next: micro(21_000, 0),
+			args: []string{"-hot", "BenchmarkHot", "-floor", "0"},
+			want: 1,
+		},
+		{
+			name: "above-floor regression still fails with default floor",
+			base: micro(2_000_000, 0),
+			next: micro(6_000_000, 0),
+			args: []string{"-hot", "BenchmarkHot"},
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := writeDoc(t, dir, "fbase.json", tc.base)
+			next := writeDoc(t, dir, "fnext.json", tc.next)
+			args := append(append([]string{}, tc.args...), base, next)
+			if got := compare(args); got != tc.want {
+				t.Fatalf("compare exit = %d, want %d", got, tc.want)
+			}
+		})
 	}
 }

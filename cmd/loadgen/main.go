@@ -137,6 +137,18 @@ func main() {
 	if *shards <= 0 {
 		*shards = runtime.NumCPU()
 	}
+	// An archetype that declares its own deployment width (the metro
+	// archetype's pod count) sets the domain fan-out unless -domains was
+	// given explicitly.
+	domainsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "domains" {
+			domainsSet = true
+		}
+	})
+	if !domainsSet && spec.Domains > 0 {
+		*domains = spec.Domains
+	}
 
 	// Optional leader lease: loadgen-as-coordinator participates in the
 	// same fencing protocol as ovnes. The acquisition's epoch rides on

@@ -227,7 +227,8 @@ func main() {
 		}
 		lsn, rounds := sb.Progress()
 		olog.Info().Str("holder", holder).Uint64("lease-epoch", lease.Epoch()).
-			Uint64("replayed-lsn", lsn).Int("replayed-rounds", rounds).Msg("took leadership")
+			Uint64("replayed-lsn", lsn).Int("replayed-rounds", rounds).
+			Int("snapshot-rebootstraps", sb.Rebuilds()).Msg("took leadership")
 		var exec admission.Executor
 		if *clListen != "" {
 			if coord, err = newCoord(lease.Epoch()); err != nil {

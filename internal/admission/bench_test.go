@@ -147,3 +147,85 @@ func committedOf(b *testing.B, e *Engine, domain string) []string {
 	}
 	return names
 }
+
+// metroDeploy is the lazily built metro-scale deployment BenchmarkMetroRound
+// measures: topology.MetroPods independent pod domains (>= 1000 BSs total),
+// each a strict-tree pod under the deep four-tier CU hierarchy, populated
+// with the metro archetype's tenant mix and taken through its first (cold)
+// round. Built once per process — the cold factorizations are setup cost,
+// not the thing the benchmark times.
+var metroDeploy struct {
+	once sync.Once
+	eng  *Engine
+	err  error
+}
+
+func metroEngine(b *testing.B) *Engine {
+	b.Helper()
+	metroDeploy.once.Do(func() {
+		pod := topology.Metro(topology.MetroPodBS)
+		e := New(Config{Shards: 0, QueueDepth: 8 * topology.MetroPods})
+		types := []slice.Type{slice.URLLC, slice.URLLC, slice.EMBB, slice.MMTC}
+		for d := 0; d < topology.MetroPods; d++ {
+			if err := e.AddDomain(fmt.Sprintf("pod%d", d), DomainConfig{
+				Net: pod, KPaths: 1, Algorithm: "benders",
+			}); err != nil {
+				metroDeploy.err = err
+				return
+			}
+		}
+		if err := e.Start(); err != nil {
+			metroDeploy.err = err
+			return
+		}
+		for d := 0; d < topology.MetroPods; d++ {
+			dom := fmt.Sprintf("pod%d", d)
+			for k, ty := range types {
+				_, err := e.Submit(Request{
+					Domain: dom,
+					Name:   fmt.Sprintf("t%d", k),
+					SLA:    slice.SLA{Template: slice.Table1(ty), Duration: 1 << 20}.WithPenaltyFactor(1),
+				})
+				if err != nil {
+					metroDeploy.err = err
+					return
+				}
+			}
+			if _, err := e.DecideRound(dom); err != nil {
+				metroDeploy.err = err
+				return
+			}
+		}
+		metroDeploy.eng = e
+	})
+	if metroDeploy.err != nil {
+		b.Fatal(metroDeploy.err)
+	}
+	return metroDeploy.eng
+}
+
+// BenchmarkMetroRound times one steady-state admission round over the full
+// metro deployment: every pod domain gets a forecast drift on its committed
+// slices and one warm DecideRound (dual-simplex re-entry, Forrest–Tomlin
+// updates, batched slave ftran — no cold factorization on this path). This
+// is the per-round latency the metro tier is budgeted against; it is in the
+// bench-compare HOT_BENCHES set.
+func BenchmarkMetroRound(b *testing.B) {
+	e := metroEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < topology.MetroPods; d++ {
+			dom := fmt.Sprintf("pod%d", d)
+			for _, name := range committedOf(b, e, dom) {
+				lh, sg := driftView(name, slice.SLA{Template: slice.Table1(slice.EMBB)}, i)
+				if err := e.UpdateForecast(dom, name, lh, sg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := e.DecideRound(dom); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N*topology.MetroPods)/b.Elapsed().Seconds(), "pod-rounds/s")
+}

@@ -317,3 +317,101 @@ func TestFailoverMatchesUninterrupted(t *testing.T) {
 		})
 	}
 }
+
+// TestStandbyHealsCompactionGap pins the self-heal path: a standby that
+// opens the leader's directory before anything is written tails from LSN
+// 0 — and if the leader then runs a burst of epochs, snapshots, and
+// compacts the early segments before the replica's next poll (a fast
+// solver makes that window real), the tail gaps behind compaction. The
+// standby must re-bootstrap from the leader's newest snapshot in place
+// and still promote to a byte-identical orchestrator.
+func TestStandbyHealsCompactionGap(t *testing.T) {
+	// Uninterrupted reference.
+	refStore := monitor.NewStore(0)
+	ran, tn, cloud := newSouthbound(t)
+	ref, err := NewOrchestrator(OrchestratorConfig{
+		Net: topology.Testbed(), Algorithm: "benders", Store: refStore,
+		RANAddr: ran, TransportAddr: tn, CloudAddr: cloud,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ref.Close() }) //nolint:errcheck // engine teardown
+	refWorld := &failoverWorld{nbs: topology.Testbed().NumBS()}
+	var refLines []string
+	for e := 0; e < failoverEpochs; e++ {
+		refLines = append(refLines, refWorld.runEpoch(t, ref, refStore, e))
+	}
+	refYield := getBytes(t, ref, "/yield")
+	refSlices := getBytes(t, ref, "/slices")
+
+	// Leader with a WAL; the standby opens the directory first, so its
+	// tail starts at LSN 0 with no bootstrap snapshot.
+	dir := t.TempDir()
+	ranS, tnS, cloudS := newSouthbound(t)
+	storeS := monitor.NewStore(0)
+	sb, err := NewStandby(OrchestratorConfig{
+		Net: topology.Testbed(), Algorithm: "benders", Store: storeS,
+		RANAddr: ranS, TransportAddr: tnS, CloudAddr: cloudS,
+		DataDir: dir, SnapshotEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ranL, tnL, cloudL := newSouthbound(t)
+	storeL := monitor.NewStore(0)
+	leader, err := NewOrchestrator(OrchestratorConfig{
+		Net: topology.Testbed(), Algorithm: "benders", Store: storeL,
+		RANAddr: ranL, TransportAddr: tnL, CloudAddr: cloudL,
+		DataDir: dir, SnapshotEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The whole pre-kill run happens with the standby never polling: by
+	// the kill point the leader has snapshotted (SnapshotEvery=2, 3
+	// epochs) and compacted the segments the standby's tail still needs.
+	kill := failoverEpochs / 2
+	w := &failoverWorld{nbs: topology.Testbed().NumBS()}
+	var lines []string
+	for e := 0; e < kill; e++ {
+		lines = append(lines, w.runEpoch(t, leader, storeL, e))
+	}
+	leader.Abort()
+
+	// The next poll hits the gap and must heal it, not die on it.
+	if _, err := sb.Poll(); err != nil {
+		t.Fatalf("standby poll across compaction gap: %v", err)
+	}
+	if got := sb.Rebuilds(); got != 1 {
+		t.Fatalf("standby rebuilds = %d, want exactly 1 (the test exists to exercise the heal)", got)
+	}
+
+	orch2, err := sb.Promote(nil, nil)
+	if err != nil {
+		t.Fatalf("promote after heal: %v", err)
+	}
+	t.Cleanup(func() { orch2.Close() }) //nolint:errcheck // engine teardown
+	w.reconnect(storeS)
+
+	for e := kill; e < failoverEpochs; e++ {
+		lines = append(lines, w.runEpoch(t, orch2, storeS, e))
+	}
+	for i := range refLines {
+		if i >= len(lines) || refLines[i] != lines[i] {
+			got := "<missing>"
+			if i < len(lines) {
+				got = lines[i]
+			}
+			t.Fatalf("decision trace diverged at epoch %d:\n  reference: %s\n  healed:    %s", i, refLines[i], got)
+		}
+	}
+	if got := getBytes(t, orch2, "/yield"); got != refYield {
+		t.Fatalf("/yield diverged:\nreference: %s\nhealed:    %s", refYield, got)
+	}
+	if got := getBytes(t, orch2, "/slices"); got != refSlices {
+		t.Fatalf("/slices diverged:\nreference: %s\nhealed:    %s", refSlices, got)
+	}
+}

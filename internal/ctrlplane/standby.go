@@ -2,6 +2,7 @@ package ctrlplane
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -116,6 +117,7 @@ type Standby struct {
 	tail     *wal.Tailer
 	replayer *wal.Replayer
 	promoted bool
+	rebuilds int
 }
 
 // NewStandby builds a standby over cfg.DataDir (required — it is the
@@ -152,9 +154,14 @@ func NewStandby(cfg OrchestratorConfig) (*Standby, error) {
 }
 
 // Poll ingests every record that has become visible since the last call
-// and returns how many were applied or parked. Errors are permanent
-// (corruption, compaction gap, replay divergence): the standby must be
-// rebuilt.
+// and returns how many were applied or parked. A compaction gap (the
+// leader snapshotted and removed segments the tail had not read — it can
+// outrun a polling replica wholesale when a burst of rounds, a snapshot
+// and its compaction all land inside one poll interval) is healed in
+// place: the replica discards its state and re-bootstraps from the
+// leader's newest snapshot, exactly what restarting the standby process
+// would do. Other errors are permanent (corruption, replay divergence):
+// the standby must be rebuilt.
 func (s *Standby) Poll() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -165,15 +172,65 @@ func (s *Standby) Poll() (int, error) {
 }
 
 func (s *Standby) pollLocked() (int, error) {
-	recs, err := s.tail.Poll()
 	n := 0
-	for _, pr := range recs {
-		if ierr := s.replayer.Ingest(pr); ierr != nil {
-			return n, ierr
+	for {
+		recs, err := s.tail.Poll()
+		for _, pr := range recs {
+			if ierr := s.replayer.Ingest(pr); ierr != nil {
+				return n, ierr
+			}
+			n++
 		}
-		n++
+		if !errors.Is(err, wal.ErrTailGap) {
+			return n, err
+		}
+		stuck := s.tail.NextLSN()
+		if rerr := s.rebuildLocked(); rerr != nil {
+			return n, fmt.Errorf("ctrlplane: standby re-bootstrap after compaction gap: %w", rerr)
+		}
+		if s.tail.NextLSN() <= stuck {
+			// No newer snapshot is readable (compaction without a usable
+			// snapshot would be a writer bug, or every snapshot is torn):
+			// rebuilding again would land on the same gap forever.
+			return n, err
+		}
+		n = 0 // records applied to the discarded replica don't count
 	}
-	return n, err
+}
+
+// rebuildLocked discards the replica's engine/controller/ledger state and
+// re-bootstraps a fresh one from the newest snapshot in the leader's
+// directory, resuming the tail at its LSN.
+func (s *Standby) rebuildLocked() error {
+	s.tail.Close()
+	o, err := buildCore(s.cfg, s.lg)
+	if err != nil {
+		return err
+	}
+	tail, err := wal.OpenTailer(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	replayer, err := wal.NewReplayer(wal.Target{Engine: o.eng, Controller: o.loop, Ledger: o.ledger})
+	if err != nil {
+		tail.Close()
+		return err
+	}
+	if err := replayer.Bootstrap(tail.Snapshot()); err != nil {
+		tail.Close()
+		return err
+	}
+	s.o, s.tail, s.replayer = o, tail, replayer
+	s.rebuilds++
+	return nil
+}
+
+// Rebuilds reports how many times the replica healed a compaction gap by
+// re-bootstrapping from a snapshot (0 when it tailed the whole log live).
+func (s *Standby) Rebuilds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuilds
 }
 
 // Run polls on a cadence until ctx ends, a permanent error occurs, or the

@@ -17,17 +17,25 @@
 //
 //	minimize    c·x
 //	subject to  aᵢ·x {≤,=,≥} bᵢ    i = 1..m
-//	            x ≥ 0
+//	            lᵢ ≤ xᵢ ≤ uᵢ       (default 0 ≤ xᵢ, set via SetBounds)
 //
-// Upper bounds on variables are expressed as ordinary constraint rows.
+// Variable bounds are handled natively by a bounded-variable simplex —
+// no constraint rows are added, so rewriting them between solves (the
+// branch-and-bound fixing pattern) keeps every warm-start cache valid.
 // Internally the solver converts to equality standard form with slack and
 // artificial variables. One-shot solves (Solve) run a two-phase tableau
 // simplex — dense, flat strided storage — with Dantzig pricing and a
 // Bland's-rule fallback that guarantees termination. Re-solve sequences
 // (SolveFrom with a Basis) run a revised simplex over a sparse LU
-// factorization of the basis matrix with a bounded product-form eta file
-// and Devex pricing; all scratch lives in a Basis-owned workspace, so the
-// steady-state warm solve — the access pattern of the Benders slave, the
-// admission shards and the branch-and-bound node loop — allocates nothing.
-// See DESIGN.md §7 for the factorization design and determinism argument.
+// factorization of the basis matrix maintained by Forrest–Tomlin row
+// updates (bounded fill, stability-tested, refactorizing in place when
+// either bound trips) with Devex pricing; all scratch lives in a
+// Basis-owned workspace, so the steady-state warm solve — the access
+// pattern of the Benders slave, the admission shards and the
+// branch-and-bound node loop — allocates nothing. Presolve/Postsolve
+// shrink a master problem deterministically before solving, and
+// Basis.FtranBatch pushes a round's independent RHS vectors through one
+// factor traversal. See DESIGN.md §7 for the factorization design and
+// determinism argument, and §11 for the metro-scale tier (FT updates,
+// bounded variables, presolve, batched ftran).
 package lp

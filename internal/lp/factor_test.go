@@ -122,6 +122,74 @@ func TestSparseLUMatchesDenseOnWarmCorpus(t *testing.T) {
 	}
 }
 
+// TestSparseLUMatchesDenseOnFTUpdateChains extends the cross-engine
+// property test to the Forrest–Tomlin regime: a problem large enough that
+// each RHS slam costs real pivot chains, driven far past refactorEvery so
+// the sparse engine's FT eta file fills and refactorizes repeatedly, with
+// bound rewrites mixed in so bound-flip ratio-test iterations and
+// nonbasic-at-bound extraction run under FT updates too. The dense-inverse
+// engine is the oracle at every step; the pivot-count assertion guarantees
+// the update path (not just fresh factorizations) was exercised.
+func TestSparseLUMatchesDenseOnFTUpdateChains(t *testing.T) {
+	defer DebugForceDenseFactor(false)
+	for _, seed := range []int64{3, 11, 29} {
+		ps := randomLP(60, 60, seed)
+		pd := randomLP(60, 60, seed) // identical twin
+		r := rand.New(rand.NewSource(seed * 17))
+		var bSparse, bDense Basis
+		totalPivots := 0
+		for step := 0; step < 12; step++ {
+			// Slam a swath of RHS values so the dual simplex runs a real
+			// pivot chain through the FT update machinery.
+			for i := 0; i < ps.NumRows(); i++ {
+				if r.Float64() < 0.5 {
+					v := math.Max(0.2, ps.RHS(i)*(0.3+1.4*r.Float64()))
+					ps.SetRHS(i, v)
+					pd.SetRHS(i, v)
+				}
+			}
+			// Bound rewrites: boxes and binary-style fixings, the
+			// branch-and-bound access pattern layered on the FT chains.
+			for j := 0; j < ps.NumVars(); j++ {
+				if r.Float64() < 0.15 {
+					var lo, up float64
+					switch r.Intn(3) {
+					case 0:
+						lo, up = 0, 1+4*r.Float64()
+					case 1:
+						lo = float64(r.Intn(2))
+						up = lo
+					case 2:
+						lo, up = 0, math.Inf(1)
+					}
+					ps.SetBounds(j, lo, up)
+					pd.SetBounds(j, lo, up)
+				}
+			}
+			ss := solveForced(t, ps, &bSparse, false)
+			ds := solveForced(t, pd, &bDense, true)
+			if ss.Status == Infeasible && ds.Status == Infeasible {
+				// Bounds are live: the plain Farkas check in
+				// compareSolutions does not account for the box, so
+				// certify with the box-aware variant instead.
+				if ss.Ray != nil {
+					checkBoxFarkas(t, ps, ss.Ray, "sparse FT-chain ray")
+				}
+				if ds.Ray != nil {
+					checkBoxFarkas(t, pd, ds.Ray, "dense FT-chain ray")
+				}
+			} else {
+				compareSolutions(t, ps, ss, ds, step)
+			}
+			totalPivots += ss.Pivots
+		}
+		if totalPivots <= refactorEvery {
+			t.Fatalf("seed %d: corpus too easy: %d total pivots never crossed the FT eta bound %d",
+				seed, totalPivots, refactorEvery)
+		}
+	}
+}
+
 // TestSingularBasisFallsBackCold hands the warm path a basis whose column
 // set is genuinely singular (the same marker column listed twice); the
 // factorization must detect it and the solve must recover via the cold
@@ -253,5 +321,85 @@ func TestWarmSteadyStateZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state warm solve allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestBoundedWarmSteadyStateZeroAllocs extends the zero-alloc contract to
+// the bounded-variable simplex: a branch-and-bound style fixing cycle —
+// SetBounds flips between the unit box and binary fixings, warm re-entry,
+// extraction with nonbasic-at-bound variables — must not allocate once the
+// workspace has reached its steady footprint.
+func TestBoundedWarmSteadyStateZeroAllocs(t *testing.T) {
+	p := randomLP(60, 60, 5)
+	for j := 0; j < 8; j++ {
+		p.SetBounds(j, 0, 1)
+	}
+	var b Basis
+	if _, err := p.SolveFrom(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The exact cycle AllocsPerRun will replay, so every fixing pattern
+	// (and any cold fallback it provokes) is already amortized.
+	cycle := func(i int) {
+		j := i % 8
+		switch i % 3 {
+		case 0:
+			p.SetBounds(j, 0, 1) // relax to the unit box
+		case 1:
+			p.SetBounds(j, 0, 0) // binary-style fixing at the lower bound
+		case 2:
+			p.SetBounds(j, 0, 0.5) // tighten the box (bound-flip territory)
+		}
+		p.SetRHS(i%p.NumRows(), 1+float64(i%7))
+		s, err := p.SolveFrom(&b)
+		if err != nil || s.Status != Optimal {
+			t.Fatalf("bounded steady-state solve: %v %v", s.Status, err)
+		}
+	}
+	for i := 0; i < 240; i++ {
+		cycle(i)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(240, func() {
+		cycle(i)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("bounded warm solve allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestFtranBatchZeroAllocs pins the batched multi-RHS ftran: pushing a
+// round's worth of packed RHS vectors through a warm factorization — more
+// than one ftranBatchMax chunk — must not allocate.
+func TestFtranBatchZeroAllocs(t *testing.T) {
+	p := randomLP(60, 60, 9)
+	var b Basis
+	if _, err := p.SolveFrom(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The first solve is cold and leaves no engine on the basis; a warm
+	// re-entry factorizes it.
+	p.SetRHS(0, p.RHS(0)*1.1)
+	if _, err := p.SolveFrom(&b); err != nil {
+		t.Fatal(err)
+	}
+	m := p.NumRows()
+	k := ftranBatchMax + 3 // crosses the chunking boundary
+	rhs := make([]float64, k*m)
+	out := make([]float64, k*m)
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	if !b.FtranBatch(rhs, k, out) {
+		t.Fatal("FtranBatch refused a freshly factorized basis")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !b.FtranBatch(rhs, k, out) {
+			t.Fatal("FtranBatch refused mid-run")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched ftran allocates %.1f objects/op, want 0", allocs)
 	}
 }

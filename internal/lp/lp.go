@@ -77,10 +77,15 @@ type Problem struct {
 	cost  []float64
 	names []string
 	rows  []row
-	// rev counts structural mutations (AddVar, AddConstraint). SetRHS and
-	// SetCost deliberately do not advance it: a Basis workspace caches the
-	// problem's sparse matrix keyed on (pointer, rev), and RHS/cost rewrites
-	// — the warm-start access pattern — must keep that cache valid.
+	// lo/up are the variable bounds, materialized lazily by the first
+	// SetBounds call; nil means every variable keeps the default [0, +∞)
+	// range. Invariant: 0 ≤ lo[j] ≤ up[j], with up[j] = +Inf for unbounded.
+	lo, up []float64
+	// rev counts structural mutations (AddVar, AddConstraint). SetRHS,
+	// SetCost and SetBounds deliberately do not advance it: a Basis
+	// workspace caches the problem's sparse matrix keyed on (pointer, rev),
+	// and RHS/cost/bound rewrites — the warm-start access patterns — must
+	// keep that cache valid. (Branch-and-bound rewrites bounds per node.)
 	rev int
 }
 
@@ -92,9 +97,47 @@ func New() *Problem { return &Problem{} }
 func (p *Problem) AddVar(name string, cost float64) int {
 	p.cost = append(p.cost, cost)
 	p.names = append(p.names, name)
+	if p.lo != nil {
+		p.lo = append(p.lo, 0)
+		p.up = append(p.up, math.Inf(1))
+	}
 	p.rev++
 	return len(p.cost) - 1
 }
+
+// SetBounds restricts variable v to the range [lo, up]. Bounds are handled
+// natively by the bounded-variable simplex — no constraint rows are added —
+// so rewriting them between solves (the branch-and-bound fixing pattern) is
+// as cheap as SetRHS and keeps every warm-start cache valid. lo must satisfy
+// 0 ≤ lo ≤ up; use math.Inf(1) for an unbounded upper range. lo == up fixes
+// the variable.
+func (p *Problem) SetBounds(v int, lo, up float64) {
+	if lo < 0 || up < lo || math.IsNaN(lo) || math.IsNaN(up) {
+		panic(fmt.Sprintf("lp: SetBounds(%d, %g, %g): need 0 <= lo <= up", v, lo, up))
+	}
+	if p.lo == nil {
+		p.lo = make([]float64, len(p.cost))
+		p.up = make([]float64, len(p.cost))
+		for j := range p.up {
+			p.up[j] = math.Inf(1)
+		}
+	}
+	p.lo[v] = lo
+	p.up[v] = up
+}
+
+// Bounds returns the [lo, up] range of variable v.
+func (p *Problem) Bounds(v int) (lo, up float64) {
+	if p.lo == nil {
+		return 0, math.Inf(1)
+	}
+	return p.lo[v], p.up[v]
+}
+
+// bounded reports whether any variable carries a non-default bound range.
+// The solver paths stay byte-identical to their pre-bounds behavior when
+// this is false.
+func (p *Problem) bounded() bool { return p.lo != nil }
 
 // NumVars returns the number of variables added so far.
 func (p *Problem) NumVars() int { return len(p.cost) }
@@ -149,6 +192,8 @@ func (p *Problem) Clone() *Problem {
 		cost:  append([]float64(nil), p.cost...),
 		names: append([]string(nil), p.names...),
 		rows:  make([]row, len(p.rows)),
+		lo:    append([]float64(nil), p.lo...),
+		up:    append([]float64(nil), p.up...),
 	}
 	for i, r := range p.rows {
 		q.rows[i] = row{
@@ -203,7 +248,12 @@ func (p *Problem) Solve() (*Solution, error) { return p.solveCold(nil) }
 // solveCold is the two-phase tableau path. When cap is non-nil, the final
 // basis is captured into it so a later SolveFrom can warm-start; outcomes
 // without a usable basis (iteration limit, unboundedness) reset it.
+// Bounded problems are dispatched to the bound-row expansion below — the
+// tableau itself only understands x ≥ 0.
 func (p *Problem) solveCold(cap *Basis) (*Solution, error) {
+	if p.bounded() {
+		return p.solveColdBounded(cap)
+	}
 	// When a Basis is being (re)captured, its workspace donates the
 	// tableau's dense buffers, so warm-path fallbacks and re-captures do
 	// not re-pay the tableau allocation on every cold solve.
@@ -268,6 +318,107 @@ func (p *Problem) solveCold(cap *Basis) (*Solution, error) {
 	sol.Dual = t.duals()
 	if cap != nil {
 		cap.capture(t)
+	}
+	return sol, nil
+}
+
+// solveColdBounded is the cold path for problems with variable bounds: the
+// bounds are expanded into explicit rows (x_j ≥ lo for lo > 0, x_j ≤ up for
+// finite up), the two-phase tableau solves the expansion, and the result is
+// mapped back. Dual and Ray are truncated to the original rows: bound-row
+// duals live on as nonbasic reduced costs in the bounded-variable warm path
+// (strong duality then reads Obj = Σ Dual·rhs + Σ_{nonbasic j} d_j·x_j),
+// and an infeasibility Ray is a box-Farkas certificate — Σ Ray·rhs exceeds
+// the slack the variable boxes can absorb (see revised.verifyRay).
+//
+// When cap is non-nil the expanded basis is folded into a bounded-variable
+// basis over the original rows: a structural variable is basic iff it is
+// basic in the expansion with none of its bound rows tight, and every
+// nonbasic structural records which bound it sits at. The fold can land on
+// a singular column set in degenerate corners; the next warm attempt then
+// detects that and falls back cold, so it costs performance, never
+// correctness.
+func (p *Problem) solveColdBounded(cap *Basis) (*Solution, error) {
+	m, n := len(p.rows), len(p.cost)
+
+	// Build the expansion. Structural columns, costs and the original rows
+	// are shared read-only with p; only the bound rows are fresh.
+	q := &Problem{cost: p.cost, names: p.names}
+	q.rows = make([]row, m, m+2*n)
+	copy(q.rows, p.rows)
+	lbRow := make([]int, n)
+	ubRow := make([]int, n)
+	for j := range lbRow {
+		lbRow[j], ubRow[j] = -1, -1
+	}
+	for j := 0; j < n; j++ {
+		if p.lo[j] > 0 {
+			lbRow[j] = len(q.rows)
+			q.rows = append(q.rows, row{terms: []Term{{Var: j, Coef: 1}}, sense: GE, rhs: p.lo[j]})
+		}
+	}
+	for j := 0; j < n; j++ {
+		if !math.IsInf(p.up[j], 1) {
+			ubRow[j] = len(q.rows)
+			q.rows = append(q.rows, row{terms: []Term{{Var: j, Coef: 1}}, sense: LE, rhs: p.up[j]})
+		}
+	}
+
+	var ws *workspace
+	if cap != nil {
+		if cap.ws == nil {
+			cap.ws = &workspace{}
+		}
+		ws = cap.ws
+	}
+	t := newTableau(q, ws)
+	sol := &Solution{}
+
+	status := t.iterate(true)
+	sol.Pivots += t.pivots
+	if status == IterLimit {
+		sol.Status = IterLimit
+		if cap != nil {
+			cap.Reset()
+		}
+		return sol, ErrIterLimit
+	}
+	if t.phase1Obj() > feasTol {
+		sol.Status = Infeasible
+		t.recomputeObjRow()
+		sol.Ray = t.farkasRay()[:m]
+		if cap != nil {
+			cap.Reset()
+		}
+		return sol, nil
+	}
+	t.pivotOutArtificials()
+
+	t.loadPhase2Costs()
+	status = t.iterate(false)
+	sol.Pivots += t.pivots
+	switch status {
+	case IterLimit:
+		sol.Status = IterLimit
+		if cap != nil {
+			cap.Reset()
+		}
+		return sol, ErrIterLimit
+	case Unbounded:
+		sol.Status = Unbounded
+		if cap != nil {
+			cap.Reset()
+		}
+		return sol, nil
+	}
+
+	sol.Status = Optimal
+	sol.X = t.primal()
+	sol.Obj = t.objective()
+	t.recomputeObjRow()
+	sol.Dual = t.duals()[:m]
+	if cap != nil {
+		cap.captureBounded(p, t, lbRow, ubRow)
 	}
 	return sol, nil
 }

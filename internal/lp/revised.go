@@ -1,13 +1,13 @@
 // revised.go implements the warm-start half of the solver: a revised
 // simplex over an explicit Basis (basic column set plus a factorized basis
-// matrix — sparse LU with a bounded eta file, see factor.go). Where the
+// matrix — sparse LU with Forrest–Tomlin updates, see factor.go). Where the
 // tableau in lp.go rebuilds everything from a cold start, SolveFrom
 // re-enters from a previous optimal basis:
 //
-//   - right-hand-side changes (the Benders slave rewrites only RHS per
-//     iteration; the milp branch-and-bound rewrites only binary bound rows
-//     per node) leave the basis dual feasible, so a handful of dual simplex
-//     pivots restore optimality;
+//   - right-hand-side and bound changes (the Benders slave rewrites only
+//     RHS per iteration; the milp branch-and-bound rewrites only variable
+//     bounds per node via SetBounds) leave the basis dual feasible, so a
+//     handful of dual simplex pivots restore optimality;
 //   - cost changes leave it primal feasible, so the primal revised simplex
 //     re-optimizes directly;
 //   - anything the warm path cannot certify — stale shape, a singular
@@ -38,16 +38,28 @@ import "math"
 // solve over the same problem shape, plus the factorized basis matrix and
 // the reusable solver workspace. The zero value is an empty basis;
 // SolveFrom on one cold-starts and captures. A Basis belongs to one Problem
-// structure (same variable and row counts, same senses) whose RHS and costs
-// may change between solves; it is not safe for concurrent use.
+// structure (same variable and row counts, same senses) whose RHS, costs
+// and variable bounds may change between solves; it is not safe for
+// concurrent use.
 type Basis struct {
 	m, n int   // shape (rows, structural variables) the basis was taken on
 	cols []int // basic column per row position: j < n structural, n+r marker
+	// stat records which bound each nonbasic column sits at (atLower or
+	// atUpper), indexed like inBasis over [structurals | markers]. Entries
+	// of basic columns are meaningless. Only consulted for problems with
+	// variable bounds; zeroed (all at-lower) otherwise.
+	stat []uint8
 	// eng is the factorized basis matrix; nil ⇒ factorize on next use. It
 	// points into ws-owned storage (ws.lu or ws.dense).
 	eng factorEngine
 	ws  *workspace
 }
+
+// Nonbasic bound statuses.
+const (
+	atLower uint8 = 0 // nonbasic at its lower bound (or at zero)
+	atUpper uint8 = 1 // nonbasic at a finite upper bound
+)
 
 // Warm reports whether the basis holds resumable state matching p's shape.
 func (b *Basis) Warm(p *Problem) bool {
@@ -60,6 +72,7 @@ func (b *Basis) Warm(p *Problem) bool {
 func (b *Basis) Reset() {
 	b.m, b.n, b.eng = 0, 0, nil
 	b.cols = b.cols[:0]
+	b.stat = b.stat[:0]
 }
 
 // capture stores the final basis of a cold tableau solve. Rows that ended
@@ -69,11 +82,68 @@ func (b *Basis) Reset() {
 func (b *Basis) capture(t *tableau) {
 	b.m, b.n = t.m, t.n
 	b.cols = growInt(b.cols, t.m)
+	b.stat = growU8(b.stat, t.width) // all nonbasic columns sit at zero
 	for i, c := range t.basis {
 		if c >= t.width {
 			c = t.n + i
 		}
 		b.cols[i] = c
+	}
+	b.eng = nil
+}
+
+// captureBounded folds the final basis of a bound-row expansion tableau
+// (see solveColdBounded) into a bounded-variable basis over the original m
+// rows. A structural variable joins the basic set iff it is basic in the
+// expansion with every one of its bound-row markers also basic (a nonbasic
+// bound marker means that bound is tight, so the variable really sits at a
+// bound); original-row markers carry over directly. Nonbasic statuses are
+// read off the same markers: a tight lower-bound row (or full exclusion
+// from the expanded basis, which forces x_j = 0 = lo) records atLower, a
+// tight upper-bound row atUpper. Counting shows the fold yields exactly m
+// columns whenever every bound row keeps one of its (variable, marker)
+// pair basic — true of any nonsingular expanded basis; degenerate corners
+// (redundant rows captured on their pinned marker) can still produce a
+// singular set, which the next warm attempt detects and resolves with a
+// cold solve. The construction reads only the deterministic tableau end
+// state, so recapture is reproducible bit for bit.
+func (b *Basis) captureBounded(p *Problem, t *tableau, lbRow, ubRow []int) {
+	m, n := len(p.rows), len(p.cost)
+	structBasic := make([]bool, n)
+	markerBasic := make([]bool, t.m)
+	for i, c := range t.basis {
+		if c >= t.width {
+			c = t.n + i // virtual artificial of a redundant row → its marker
+		}
+		if c < n {
+			structBasic[c] = true
+		} else {
+			markerBasic[c-n] = true
+		}
+	}
+
+	b.m, b.n = m, n
+	b.cols = growInt(b.cols, m)[:0]
+	b.stat = growU8(b.stat, n+m)
+	for j := 0; j < n; j++ {
+		lbFree := lbRow[j] < 0 || markerBasic[lbRow[j]]
+		ubFree := ubRow[j] < 0 || markerBasic[ubRow[j]]
+		if structBasic[j] && lbFree && ubFree {
+			b.cols = append(b.cols, j)
+			continue
+		}
+		if structBasic[j] && lbFree && !ubFree {
+			b.stat[j] = atUpper
+		}
+	}
+	for rIdx := 0; rIdx < m; rIdx++ {
+		if markerBasic[rIdx] {
+			b.cols = append(b.cols, n+rIdx)
+		}
+	}
+	if len(b.cols) != m {
+		b.Reset() // fold failed (degenerate expansion); next solve is cold
+		return
 	}
 	b.eng = nil
 }
@@ -98,6 +168,32 @@ func (p *Problem) SolveFrom(basis *Basis) (*Solution, error) {
 		}
 	}
 	return p.solveCold(basis)
+}
+
+// FtranBatch solves B·x_b = v_b against the basis factorization for k
+// right-hand sides packed with stride m (rhs[b*m:(b+1)*m] is vector b, and
+// out is laid out the same way, position-indexed like Basis.cols). The
+// factors are traversed once per ftranBatchMax-sized chunk instead of once
+// per vector — the batched path a shard uses to push a round's independent
+// RHS vectors through one warm factorization. It requires a factorized
+// basis from a previous SolveFrom on this Basis; false means no
+// factorization is available (solve once first).
+func (b *Basis) FtranBatch(rhs []float64, k int, out []float64) bool {
+	if b == nil || b.eng == nil || k <= 0 {
+		return false
+	}
+	m := b.m
+	if len(rhs) < k*m || len(out) < k*m {
+		return false
+	}
+	for base := 0; base < k; base += ftranBatchMax {
+		c := k - base
+		if c > ftranBatchMax {
+			c = ftranBatchMax
+		}
+		b.eng.ftranBatch(rhs[base*m:(base+c)*m], c, out[base*m:(base+c)*m])
+	}
+	return true
 }
 
 // Reduced-cost slack accepted when testing whether a stale basis is still
@@ -134,12 +230,59 @@ type revised struct {
 	y       []float64 // duals c_Bᵀ·B⁻¹, updated incrementally per pivot
 	pivots  int
 	ray     []float64 // Farkas certificate when dual simplex proves infeasible
+
+	// Bounded-variable state: bounded mirrors p.bounded(); stat is the
+	// basis' nonbasic bound statuses (nil when the basis predates the
+	// problem's bounds, which sends the warm path cold to recapture).
+	bounded bool
+	stat    []uint8
+}
+
+// loCol/upCol return the bound range of column j: structural variables read
+// the problem's bounds, markers are slacks in [0, ∞).
+func (r *revised) loCol(j int) float64 {
+	if r.bounded && j < r.n {
+		return r.p.lo[j]
+	}
+	return 0
+}
+
+func (r *revised) upCol(j int) float64 {
+	if r.bounded && j < r.n {
+		return r.p.up[j]
+	}
+	return math.Inf(1)
+}
+
+// colAtUpper reports whether nonbasic column j sits at a finite upper
+// bound. A stale atUpper status (the caller widened the bound to +∞
+// between solves) reads as at-lower; the feasibility checks then repair or
+// reject the basis as usual.
+func (r *revised) colAtUpper(j int) bool {
+	return r.stat != nil && r.stat[j] == atUpper && !math.IsInf(r.upCol(j), 1)
+}
+
+// valCol is the current value of nonbasic column j.
+func (r *revised) valCol(j int) float64 {
+	if r.colAtUpper(j) {
+		return r.upCol(j)
+	}
+	return r.loCol(j)
+}
+
+// fixedCol reports lo == up: a fixed column never enters the basis and its
+// reduced cost may take any sign without breaking dual feasibility.
+func (r *revised) fixedCol(j int) bool {
+	return r.bounded && j < r.n && r.p.lo[j] == r.p.up[j]
 }
 
 // solveWarm attempts the revised-simplex warm path; ok == false means the
 // caller must fall back to a cold solve.
 func (p *Problem) solveWarm(bs *Basis) (*Solution, bool) {
 	r := bs.prepare(p)
+	if r.bounded && r.stat == nil {
+		return nil, false // basis predates the bounds: recapture cold
+	}
 	if !r.ensureFactorized() {
 		return nil, false
 	}
@@ -307,9 +450,27 @@ func (r *revised) refactorize() bool {
 	return true
 }
 
-// computeXB refreshes x_B = B⁻¹·b.
+// computeXB refreshes x_B = B⁻¹·b̃, where b̃ shifts the RHS by the nonbasic
+// columns pinned at nonzero bound values (b̃ = b for bound-free problems).
 func (r *revised) computeXB() {
-	r.bs.eng.ftran(r.rhs, r.xB)
+	rhs := r.rhs
+	if r.bounded {
+		ws := r.ws
+		b := ws.brhs[:r.m]
+		copy(b, r.rhs)
+		for j := 0; j < r.n; j++ {
+			if r.inBasis[j] {
+				continue
+			}
+			if v := r.valCol(j); v != 0 {
+				for t := ws.colPtr[j]; t < ws.colPtr[j+1]; t++ {
+					b[ws.colRow[t]] -= ws.colVal[t] * v
+				}
+			}
+		}
+		rhs = b
+	}
+	r.bs.eng.ftran(rhs, r.xB)
 }
 
 // computeY refreshes y = c_Bᵀ·B⁻¹ exactly: scatter the basic costs into
@@ -325,23 +486,39 @@ func (r *revised) computeY() {
 	}
 }
 
-// dualFeasible reports d_j ≥ −tol over every enterable nonbasic column.
+// dualFeasible reports sign-correct reduced costs over every enterable
+// nonbasic column: d_j ≥ −tol at a lower bound, d_j ≤ tol at an upper
+// bound; fixed columns are feasible at any sign.
 func (r *revised) dualFeasible() bool {
 	for j := 0; j < r.width; j++ {
-		if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
+		if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) || r.fixedCol(j) {
 			continue
 		}
-		if r.reducedCost(j) < -warmDualTol {
+		d := r.reducedCost(j)
+		if r.colAtUpper(j) {
+			if d > warmDualTol {
+				return false
+			}
+		} else if d < -warmDualTol {
 			return false
 		}
 	}
 	return true
 }
 
-// primalFeasible reports x_B ≥ −tol.
+// primalFeasible reports x_B within bounds (≥ −tol for bound-free problems).
 func (r *revised) primalFeasible() bool {
-	for _, v := range r.xB {
-		if v < -feasTol {
+	if !r.bounded {
+		for _, v := range r.xB {
+			if v < -feasTol {
+				return false
+			}
+		}
+		return true
+	}
+	for i, v := range r.xB {
+		c := r.bs.cols[i]
+		if v < r.loCol(c)-feasTol || v > r.upCol(c)+feasTol {
 			return false
 		}
 	}
@@ -353,27 +530,32 @@ func (r *revised) budget() (maxPivots, blandAfter int) {
 	return 200 * (r.m + r.width + 10), 20 * (r.m + r.width + 10)
 }
 
-// pivotUpdate makes column enter basic in row leave, given u = B⁻¹·A_enter:
-// x_B is updated incrementally, the factorization absorbs the pivot as a
-// bounded product-form eta, and a periodic full refactorization flushes
-// accumulated roundoff. false means refactorization found B singular
-// (caller bails to cold).
-func (r *revised) pivotUpdate(leave, enter int, u []float64) bool {
+// pivotUpdate makes column enter basic in row leave, given u = B⁻¹·A_enter,
+// the primal step theta (x_B ← x_B − θ·u off the pivot row), the entering
+// variable's landing value, and the bound status the leaving variable
+// settles at. The factorization absorbs the pivot as a Forrest–Tomlin
+// update, and a periodic full refactorization flushes accumulated roundoff.
+// false means refactorization found B singular (caller bails to cold).
+func (r *revised) pivotUpdate(leave, enter int, u []float64, theta, enterVal float64, leaveStat uint8) bool {
 	r.pivots++
-	t := r.xB[leave] / u[leave]
 	for i := 0; i < r.m; i++ {
 		if i == leave {
 			continue
 		}
 		if f := u[i]; f != 0 {
-			r.xB[i] -= f * t
+			r.xB[i] -= f * theta
 		}
 	}
-	r.xB[leave] = t
+	r.xB[leave] = enterVal
 
-	r.inBasis[r.bs.cols[leave]] = false
+	left := r.bs.cols[leave]
+	r.inBasis[left] = false
 	r.inBasis[enter] = true
 	r.bs.cols[leave] = enter
+	if r.stat != nil {
+		r.stat[left] = leaveStat
+		r.stat[enter] = atLower // meaningless while basic; keep deterministic
+	}
 
 	if r.bs.eng.update(leave, u) {
 		return r.refactorize()
@@ -381,12 +563,58 @@ func (r *revised) pivotUpdate(leave, enter int, u []float64) bool {
 	return true
 }
 
+// applyFlips pushes nf recorded bound flips (workspace flipJ/flipDir)
+// through the basis: each flipped column j moves by flipDir_j = ±(up−lo),
+// so x_B ← x_B − Σ_j flipDir_j·B⁻¹·A_j. The B⁻¹ solves run through the
+// engine's batched multi-RHS ftran — one factor traversal per
+// ftranBatchMax columns instead of one traversal each.
+func (r *revised) applyFlips(nf int) {
+	ws := r.ws
+	m := r.m
+	for base := 0; base < nf; base += ftranBatchMax {
+		k := nf - base
+		if k > ftranBatchMax {
+			k = ftranBatchMax
+		}
+		in := ws.batchIn[: k*m : k*m]
+		for i := range in {
+			in[i] = 0
+		}
+		for b := 0; b < k; b++ {
+			r.scatterCol(ws.flipJ[base+b], in[b*m:(b+1)*m])
+		}
+		out := ws.batchOut[:k*m]
+		r.bs.eng.ftranBatch(in, k, out)
+		for b := 0; b < k; b++ {
+			d := ws.flipDir[base+b]
+			ub := out[b*m : (b+1)*m]
+			for i := 0; i < m; i++ {
+				if v := ub[i]; v != 0 {
+					r.xB[i] -= d * v
+				}
+			}
+			r.stat[ws.flipJ[base+b]] ^= 1
+		}
+	}
+}
+
 // dualSimplex restores primal feasibility from a dual-feasible basis after
-// a right-hand-side change: pick the leaving row by dual Devex weights
-// (largest violation in the approximate steepest-edge norm), pick the
-// entering column by the dual ratio test (preserving d ≥ 0), pivot, repeat.
-// No admissible entering column proves primal infeasibility, with the
-// Farkas certificate read off the violated row of B⁻¹.
+// a right-hand-side (or bound) change: pick the leaving row by dual Devex
+// weights (largest violation in the approximate steepest-edge norm), pick
+// the entering column by the bound-flip dual ratio test, pivot, repeat.
+//
+// The bound-flip ratio test (BFRT) generalizes the classical dual ratio
+// test to boxed columns: candidates are walked in ratio order, and a boxed
+// candidate whose entire range cannot absorb the remaining violation is
+// *flipped* to its opposite bound instead of entering — the violation
+// shrinks, dual feasibility is untouched (the flip changes no reduced
+// cost), and the walk continues until some candidate must truly enter.
+// Flipped columns' B⁻¹ images are applied to x_B through one batched
+// multi-RHS ftran. On bound-free problems every range is infinite, no flip
+// ever fires, and the pivot sequence is identical to the classical test.
+//
+// No admissible entering column proves (box-)infeasibility, with the
+// certificate f = −dir·ρ read off the violated row of B⁻¹ (see verifyRay).
 func (r *revised) dualSimplex() warmStatus {
 	maxPivots, blandAfter := r.budget()
 	dw := r.ws.dwRow[:r.m]
@@ -399,20 +627,37 @@ func (r *revised) dualSimplex() warmStatus {
 		}
 		bland := iter >= blandAfter
 
+		// Leaving row: a basic variable outside its range. delta is the
+		// signed violation relative to the bound it must return to.
 		leave := -1
+		delta := 0.0
 		if bland {
 			for i, v := range r.xB {
-				if v < -feasTol {
-					leave = i // smallest violated row index wins
+				if lo := r.loCol(r.bs.cols[i]); v < lo-feasTol {
+					leave, delta = i, v-lo // smallest violated row index wins
 					break
+				}
+				if r.bounded {
+					if up := r.upCol(r.bs.cols[i]); v > up+feasTol {
+						leave, delta = i, v-up
+						break
+					}
 				}
 			}
 		} else {
 			best := 0.0
 			for i, v := range r.xB {
-				if v < -feasTol {
-					if score := v * v / dw[i]; score > best {
-						best, leave = score, i
+				d := 0.0
+				if lo := r.loCol(r.bs.cols[i]); v < lo-feasTol {
+					d = v - lo
+				} else if r.bounded {
+					if up := r.upCol(r.bs.cols[i]); v > up+feasTol {
+						d = v - up
+					}
+				}
+				if d != 0 {
+					if score := d * d / dw[i]; score > best {
+						best, leave, delta = score, i, d
 					}
 				}
 			}
@@ -420,34 +665,90 @@ func (r *revised) dualSimplex() warmStatus {
 		if leave < 0 {
 			return warmOptimal
 		}
+		// dir orients the ratio test: +1 repairs a below-lower violation,
+		// −1 an above-upper one.
+		dir := 1.0
+		leaveStat := atLower
+		if delta > 0 {
+			dir, leaveStat = -1, atUpper
+		}
+		target := r.xB[leave] - delta // the violated bound's value
 
 		rho := r.btranRow(leave)
-		enter := -1
-		bestRatio := math.Inf(1)
-		wq := 0.0
+
+		// Collect the entering candidates and their dual ratios.
+		nc := 0
+		candJ, candW, candRatio := r.ws.candJ, r.ws.candW, r.ws.candRatio
 		for j := 0; j < r.width; j++ {
-			if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
+			if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) || r.fixedCol(j) {
 				continue
 			}
 			w := r.colDot(rho, j)
-			if w >= -pivotTol {
-				continue
+			var ratio float64
+			if r.colAtUpper(j) {
+				if dir*w <= pivotTol {
+					continue
+				}
+				d := math.Max(-r.reducedCost(j), 0)
+				ratio = d / (dir * w)
+			} else {
+				if dir*w >= -pivotTol {
+					continue
+				}
+				d := math.Max(r.reducedCost(j), 0)
+				ratio = d / -(dir * w)
 			}
-			d := math.Max(r.reducedCost(j), 0)
-			ratio := d / -w
-			if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (enter < 0 || j < enter)) {
-				bestRatio, enter, wq = ratio, j, w
-			}
+			candJ[nc], candW[nc], candRatio[nc] = j, w, ratio
+			nc++
 		}
-		if enter < 0 {
-			// Row `leave` reads Σ_j w_j·x_j = x_B[leave] < 0 with w ≥ 0 over
-			// every enterable column: infeasible. f = −ρ is the certificate.
+		if nc == 0 {
+			// Row `leave` pins Σ_j w_j·x_j to a value the nonbasic ranges
+			// cannot absorb: infeasible. f = −dir·ρ is the certificate.
 			ray := r.ws.ray[:r.m]
 			for k := 0; k < r.m; k++ {
-				ray[k] = -rho[k]
+				ray[k] = -dir * rho[k]
 			}
 			r.ray = ray
 			return warmInfeasible
+		}
+
+		// BFRT walk: repeatedly take the min-(ratio, index) candidate.
+		nf := 0
+		enter := -1
+		wq := 0.0
+		rem := delta
+		for nc > 0 {
+			bi := 0
+			for k := 1; k < nc; k++ {
+				if candRatio[k] < candRatio[bi]-1e-12 ||
+					(candRatio[k] < candRatio[bi]+1e-12 && candJ[k] < candJ[bi]) {
+					bi = k
+				}
+			}
+			j, w := candJ[bi], candW[bi]
+			if r.bounded {
+				rng := r.upCol(j) - r.loCol(j)
+				if !math.IsInf(rng, 1) && math.Abs(w)*rng < math.Abs(rem)-feasTol {
+					fd := rng // at lower: flips up by the range
+					if r.colAtUpper(j) {
+						fd = -rng
+					}
+					r.ws.flipJ[nf], r.ws.flipDir[nf] = j, fd
+					nf++
+					rem -= w * fd
+					nc--
+					candJ[bi], candW[bi], candRatio[bi] = candJ[nc], candW[nc], candRatio[nc]
+					continue
+				}
+			}
+			enter, wq = j, w
+			break
+		}
+		if nf > 0 {
+			r.applyFlips(nf)
+		}
+		if enter < 0 {
+			continue // every candidate flipped; re-select the leaving row
 		}
 
 		u := r.ftran(enter)
@@ -456,9 +757,9 @@ func (r *revised) dualSimplex() warmStatus {
 			return warmBail // factorization too stale for this pivot
 		}
 
-		// Incremental dual update: y ← y + (d_q/α_q)·ρ keeps reduced costs
+		// Incremental dual update: y ← y + (d_q/w_q)·ρ keeps reduced costs
 		// current without a btran per pricing pass; computeY at every
-		// refactorization flushes the drift.
+		// refactorization flushes the drift. Bound flips never touch y.
 		if step := r.reducedCost(enter) / wq; step != 0 {
 			for i := 0; i < r.m; i++ {
 				r.y[i] += step * rho[i]
@@ -485,7 +786,8 @@ func (r *revised) dualSimplex() warmStatus {
 			}
 		}
 
-		if !r.pivotUpdate(leave, enter, u) {
+		theta := (r.xB[leave] - target) / alpha
+		if !r.pivotUpdate(leave, enter, u, theta, r.valCol(enter)+theta, leaveStat) {
 			return warmBail
 		}
 	}
@@ -493,7 +795,10 @@ func (r *revised) dualSimplex() warmStatus {
 
 // primalSimplex re-optimizes from a primal-feasible basis after a cost
 // change: revised primal iterations with Devex reference-weight pricing and
-// a Bland fallback.
+// a Bland fallback. With variable bounds, a column at its upper bound
+// enters *downward* when its reduced cost is positive, basic variables can
+// block at either end of their range, and the entering column's own range
+// is a ratio-test candidate — crossing it is a bound flip with no pivot.
 func (r *revised) primalSimplex() warmStatus {
 	maxPivots, blandAfter := r.budget()
 	dw := r.ws.dwCol[:r.width]
@@ -507,28 +812,44 @@ func (r *revised) primalSimplex() warmStatus {
 		bland := iter >= blandAfter
 
 		enter := -1
+		dir := 1.0
 		if bland {
 			for j := 0; j < r.width; j++ {
-				if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
+				if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) || r.fixedCol(j) {
 					continue
 				}
-				if r.reducedCost(j) < -costTol {
-					enter = j
+				d := r.reducedCost(j)
+				if r.colAtUpper(j) {
+					if d > costTol {
+						enter, dir = j, -1
+						break
+					}
+				} else if d < -costTol {
+					enter, dir = j, 1
 					break
 				}
 			}
 		} else {
 			best := 0.0
 			for j := 0; j < r.width; j++ {
-				if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) {
+				if r.inBasis[j] || (j >= r.n && r.pinned[j-r.n]) || r.fixedCol(j) {
 					continue
 				}
 				d := r.reducedCost(j)
-				if d >= -costTol {
+				if r.colAtUpper(j) {
+					if d <= costTol {
+						continue
+					}
+				} else if d >= -costTol {
 					continue
 				}
 				if score := d * d / dw[j]; score > best {
 					best, enter = score, j
+					if d > 0 {
+						dir = -1
+					} else {
+						dir = 1
+					}
 				}
 			}
 		}
@@ -538,20 +859,50 @@ func (r *revised) primalSimplex() warmStatus {
 
 		u := r.ftran(enter)
 		leave := -1
+		leaveStat := atLower
 		bestRatio := math.Inf(1)
+		if r.bounded {
+			// The entering column's own range blocks first when no basic
+			// variable does: crossing it is a bound flip.
+			bestRatio = r.upCol(enter) - r.loCol(enter)
+		}
 		for i := 0; i < r.m; i++ {
-			if u[i] <= pivotTol {
+			du := dir * u[i]
+			var ratio float64
+			var st uint8
+			if du > pivotTol {
+				ratio = (r.xB[i] - r.loCol(r.bs.cols[i])) / du
+				st = atLower
+			} else if r.bounded && du < -pivotTol {
+				up := r.upCol(r.bs.cols[i])
+				if math.IsInf(up, 1) {
+					continue
+				}
+				ratio = (r.xB[i] - up) / du
+				st = atUpper
+			} else {
 				continue
 			}
-			ratio := r.xB[i] / u[i]
 			if ratio < bestRatio-1e-12 ||
 				(ratio < bestRatio+1e-12 && (leave < 0 || r.bs.cols[i] < r.bs.cols[leave])) {
-				bestRatio = ratio
-				leave = i
+				bestRatio, leave, leaveStat = ratio, i, st
 			}
 		}
 		if leave < 0 {
-			return warmUnbounded
+			if math.IsInf(bestRatio, 1) {
+				return warmUnbounded
+			}
+			// Bound flip: the entering column crosses its whole range
+			// before any basic variable blocks. The basis is unchanged and
+			// the objective strictly improves by |d|·range.
+			theta := dir * bestRatio
+			for i := 0; i < r.m; i++ {
+				if v := u[i]; v != 0 {
+					r.xB[i] -= v * theta
+				}
+			}
+			r.stat[enter] ^= 1
+			continue
 		}
 		alpha := u[leave]
 
@@ -588,7 +939,8 @@ func (r *revised) primalSimplex() warmStatus {
 			}
 		}
 
-		if !r.pivotUpdate(leave, enter, u) {
+		theta := dir * bestRatio
+		if !r.pivotUpdate(leave, enter, u, theta, r.valCol(enter)+theta, leaveStat) {
 			return warmBail
 		}
 	}
@@ -602,14 +954,33 @@ func (r *revised) primalSimplex() warmStatus {
 func (r *revised) optimalSolution() *Solution {
 	ws := r.ws
 	x := ws.x[:r.n]
-	for j := range x {
-		x[j] = 0
+	if r.bounded {
+		for j := range x {
+			if r.inBasis[j] {
+				x[j] = 0
+			} else {
+				x[j] = r.valCol(j) // nonbasic structurals sit at a bound
+			}
+		}
+	} else {
+		for j := range x {
+			x[j] = 0
+		}
 	}
 	obj := 0.0
 	for i, c := range r.bs.cols {
 		if c < r.n {
 			x[c] = r.xB[i]
 			obj += r.p.cost[c] * r.xB[i]
+		}
+	}
+	if r.bounded {
+		for j := 0; j < r.n; j++ {
+			if !r.inBasis[j] {
+				if v := x[j]; v != 0 {
+					obj += r.p.cost[j] * v
+				}
+			}
 		}
 	}
 	r.computeY()
@@ -649,15 +1020,37 @@ func (r *revised) verifyOptimal(sol *Solution) bool {
 			}
 		}
 	}
+	if r.bounded {
+		for j := 0; j < r.n; j++ {
+			if sol.X[j] < r.p.lo[j]-feasTol*10 || sol.X[j] > r.p.up[j]+feasTol*10 {
+				return false
+			}
+		}
+	}
 	dualObj := 0.0
 	for i, d := range sol.Dual {
 		dualObj += d * r.p.rows[i].rhs
+	}
+	if r.bounded {
+		// Bound duals live in the nonbasic reduced costs: strong duality
+		// over a box reads Obj = y·b + Σ_{nonbasic j} d_j·x_j.
+		for j := 0; j < r.n; j++ {
+			if r.inBasis[j] {
+				continue
+			}
+			if v := sol.X[j]; v != 0 {
+				dualObj += r.reducedCost(j) * v
+			}
+		}
 	}
 	return math.Abs(dualObj-sol.Obj) <= 1e-6*(1+math.Abs(sol.Obj))
 }
 
 // verifyRay checks the Farkas certificate exactly as callers will:
-// fᵀA ≤ 0 on every structural column, sense-consistent signs, f·b > 0.
+// sense-consistent signs and, over a box, more demand than the variable
+// ranges can absorb: f·b − Σ_{fᵀA_j>0} (fᵀA_j)·up_j − Σ_{fᵀA_j<0}
+// (fᵀA_j)·lo_j > 0. For bound-free problems (up = ∞, lo = 0) this is the
+// classical fᵀA ≤ 0 on every structural column with f·b > 0.
 func (r *revised) verifyRay() bool {
 	rb := 0.0
 	for i := range r.p.rows {
@@ -675,13 +1068,19 @@ func (r *revised) verifyRay() bool {
 		}
 		rb += f * row.rhs
 	}
-	if rb <= 1e-9 {
-		return false
-	}
 	for j := 0; j < r.n; j++ {
-		if r.colDot(r.ray, j) > 1e-6 {
-			return false
+		fa := r.colDot(r.ray, j)
+		if fa > 1e-6 {
+			up := r.upCol(j)
+			if math.IsInf(up, 1) {
+				return false
+			}
+			rb -= fa * up
+		} else if fa < -1e-6 {
+			if lo := r.loCol(j); lo > 0 {
+				rb -= fa * lo
+			}
 		}
 	}
-	return true
+	return rb > 1e-9
 }

@@ -46,6 +46,18 @@ func growInt(buf []int, n int) []int {
 	return buf
 }
 
+// growU8 is growF64 for byte slices.
+func growU8(buf []uint8, n int) []uint8 {
+	if cap(buf) < n {
+		return make([]uint8, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // growBool is growF64 for bool slices.
 func growBool(buf []bool, n int) []bool {
 	if cap(buf) < n {
@@ -78,6 +90,7 @@ type workspace struct {
 	sigma  []float64 // marker coefficient per row: +1 for ≤ and =, −1 for ≥
 	pinned []bool    // = rows: marker may be basic at zero but never enters
 	rhs    []float64 // current right-hand sides, refreshed per solve
+	brhs   []float64 // bound-shifted RHS b̃ = b − Σ_{nonbasic at bound} A_j·x_j
 
 	fillCur []int32 // CSC fill cursor scratch for structure rebuilds
 
@@ -92,6 +105,19 @@ type workspace struct {
 	scat  []float64 // row-space scatter buffer for ftran inputs
 	dwRow []float64 // dual-simplex Devex row weights
 	dwCol []float64 // primal-simplex Devex column weights
+
+	// Bound-flip ratio test scratch: the dual simplex collects entering
+	// candidates here, walks them in ratio order, and records the boxed
+	// columns it flips; flips are then pushed through the factorization in
+	// one batched ftran (batchIn/batchOut hold up to ftranBatchMax packed
+	// m-vectors).
+	candJ     []int
+	candW     []float64
+	candRatio []float64
+	flipJ     []int
+	flipDir   []float64
+	batchIn   []float64
+	batchOut  []float64
 
 	// Solution buffers returned by the warm path. They are owned by the
 	// Basis and overwritten by the next SolveFrom on it.
@@ -175,6 +201,14 @@ func (b *Basis) prepare(p *Problem) *revised {
 		}
 
 		ws.rhs = growF64(ws.rhs, m)
+		ws.brhs = growF64(ws.brhs, m)
+		ws.candJ = growInt(ws.candJ, n+m)
+		ws.candW = growF64(ws.candW, n+m)
+		ws.candRatio = growF64(ws.candRatio, n+m)
+		ws.flipJ = growInt(ws.flipJ, n+m)
+		ws.flipDir = growF64(ws.flipDir, n+m)
+		ws.batchIn = growF64(ws.batchIn, ftranBatchMax*m)
+		ws.batchOut = growF64(ws.batchOut, ftranBatchMax*m)
 		ws.inBasis = growBool(ws.inBasis, n+m)
 		ws.xB = growF64(ws.xB, m)
 		ws.y = growF64(ws.y, m)
@@ -214,6 +248,10 @@ func (b *Basis) prepare(p *Problem) *revised {
 		inBasis: inb,
 		xB:      ws.xB[:m],
 		y:       ws.y[:m],
+		bounded: p.bounded(),
+	}
+	if r.bounded && len(b.stat) >= n+m {
+		r.stat = b.stat[: n+m : n+m]
 	}
 	return r
 }

@@ -8,9 +8,11 @@
 // path-selection decisions x coupled with continuous reservations, so a
 // binary-only branching scheme is sufficient and keeps the search simple.
 //
-// Node relaxations warm-start: each binary owns a pair of bound rows whose
-// right-hand sides encode a node's fixings, and every node re-enters one
-// shared lp.Basis via SolveFrom — a pure RHS change, a few dual-simplex
-// pivots — instead of cloning the problem and cold-solving it (DESIGN.md
-// §7). Exploration order, branching and tie resolution are deterministic.
+// The root problem is presolved once (lp.Presolve, postsolved on exit),
+// and node relaxations warm-start: a node's fixings are lp.SetBounds
+// rewrites on the shared reduced problem — handled natively by the
+// bounded-variable simplex, no constraint rows — and every node re-enters
+// one shared lp.Basis via SolveFrom, a few dual-simplex pivots instead of
+// cloning the problem and cold-solving it (DESIGN.md §11). Exploration
+// order, branching and tie resolution are deterministic.
 package milp

@@ -1,11 +1,16 @@
 // The solver here is a best-first branch-and-bound over the repo's own LP
-// solver. Node relaxations are not solved cold: every binary variable owns
-// a pair of bound rows (x ≤ ub, −x ≤ −lb) whose right-hand sides encode
-// the node's fixings, so moving between nodes is a handful of SetRHS
-// writes followed by a warm lp.SolveFrom — the dual simplex re-enters from
-// the previous node's optimal basis instead of re-running the two-phase
-// tableau per node. On the AC-RR instances this removes the dominant cost
-// of the exact solver (the Fig. 5/Fig. 6 sweeps bottom out here).
+// solver. Node relaxations are not solved cold: binaries live on native
+// [0, 1] variable boxes and a node's fixings are lp.SetBounds writes, so
+// moving between nodes costs a few bound rewrites followed by a warm
+// lp.SolveFrom — the dual simplex re-enters from the previous node's
+// optimal basis, and because SetBounds (unlike row edits) never advances
+// the problem's structural revision, one cached sparse matrix and one
+// factorization stream serve the entire tree. The root relaxation first
+// runs through lp.Presolve: fixed binaries cascade, singleton cut rows
+// fold into bounds, and redundant master rows drop before the search
+// starts; the incumbent is mapped back through Postsolve at the end. On
+// the AC-RR instances this removes the dominant cost of the exact solver
+// (the Fig. 5/Fig. 6 sweeps bottom out here).
 
 package milp
 
@@ -81,7 +86,7 @@ var ErrNoIncumbent = errors.New("milp: node limit reached with no incumbent")
 // node is a branch-and-bound search node: a set of binary fixings and the
 // LP bound inherited from its parent.
 type node struct {
-	fixed map[int]float64 // var index -> 0 or 1
+	fixed map[int]float64 // reduced var index -> 0 or 1
 	bound float64         // LP relaxation value of the parent (lower bound)
 	depth int
 }
@@ -102,71 +107,116 @@ func (q *nodeQueue) Pop() interface{} {
 
 // Solve minimizes the problem p with the listed variables restricted to
 // {0, 1}. Rows keeping those variables in [0, 1] are NOT required: the
-// solver owns a pair of bound rows per binary — x ≤ 1 (which doubles as
-// the root-relaxation tightening) and −x ≤ 0 — and encodes each node's
-// fixings by rewriting their right-hand sides (fix to 0: x ≤ 0; fix to 1:
-// −x ≤ −1). One problem structure and one simplex basis are shared by
-// every node, so node relaxations warm-start off each other.
+// binaries get native [0, 1] boxes (which double as the root-relaxation
+// tightening), presolve shrinks the root, and every node's fixings are
+// SetBounds rewrites on the shared reduced problem — no rows are ever
+// added, so the whole tree reuses one structural cache and one warm basis.
 //
 // p is not mutated.
 func Solve(p *lp.Problem, binaries []int, opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
+	sol := &Solution{Status: Infeasible, Obj: math.Inf(1)}
 
 	root := p.Clone()
-	ubRow := make([]int, len(binaries))
-	lbRow := make([]int, len(binaries))
-	rowOf := make(map[int]int, len(binaries)) // var index -> position in binaries
-	for i, v := range binaries {
-		ubRow[i] = root.AddNamedConstraint(fmt.Sprintf("bin_ub(%s)", root.VarName(v)), lp.LE, 1, lp.T(v, 1))
-		lbRow[i] = root.AddNamedConstraint(fmt.Sprintf("bin_lb(%s)", root.VarName(v)), lp.LE, 0, lp.T(v, -1))
-		rowOf[v] = i
-	}
-	// applyNode rewrites the bound-row right-hand sides for a node's
-	// fixings. Map iteration order is irrelevant here: unlike the old
-	// scheme that *appended* fixing rows (where row order steered the
-	// pivot path), RHS assignments to distinct rows commute, so any order
-	// produces the identical problem.
-	applyNode := func(nd *node) {
-		for i := range binaries {
-			root.SetRHS(ubRow[i], 1)
-			root.SetRHS(lbRow[i], 0)
-		}
-		for v, val := range nd.fixed {
-			i := rowOf[v]
-			if val >= 0.5 {
-				root.SetRHS(lbRow[i], -1) // −x ≤ −1 ⇒ x ≥ 1
-			} else {
-				root.SetRHS(ubRow[i], 0) // x ≤ 0
-			}
-		}
+	for _, v := range binaries {
+		root.SetBounds(v, 0, 1)
 	}
 
-	sol := &Solution{Status: Infeasible, Obj: math.Inf(1)}
+	ps := lp.Presolve(root)
+	if ps.Decided {
+		switch ps.Status {
+		case lp.Infeasible:
+			return sol, nil
+		case lp.Optimal:
+			// Everything fixed at the root. The fixings are integer feasible
+			// only if every binary landed on an integer.
+			triv := ps.Postsolve(nil)
+			for _, v := range binaries {
+				if math.Abs(triv.X[v]-math.Round(triv.X[v])) > opts.IntTol {
+					return sol, nil
+				}
+				triv.X[v] = math.Round(triv.X[v])
+			}
+			sol.Status = Optimal
+			sol.Obj = triv.Obj
+			sol.X = triv.X
+			return sol, nil
+		}
+	}
+	work := ps.Reduced
+
+	// Binaries in the reduced space. Presolve may have fixed some: a binary
+	// fixed off an integer value makes the MILP infeasible outright. The
+	// surviving boxes may also be tighter than [0, 1] (singleton cut rows
+	// fold into bounds); branching respects them — a child fixing outside
+	// its variable's base box is pruned instead of pushed.
+	redBin := make([]int, 0, len(binaries))
+	baseLo := make([]float64, 0, len(binaries))
+	baseUp := make([]float64, 0, len(binaries))
+	for _, v := range binaries {
+		rc, fv := ps.Col(v)
+		if rc < 0 {
+			if math.Abs(fv-math.Round(fv)) > opts.IntTol {
+				return sol, nil
+			}
+			continue
+		}
+		lo, up := work.Bounds(rc)
+		redBin = append(redBin, rc)
+		baseLo = append(baseLo, lo)
+		baseUp = append(baseUp, up)
+	}
+	boxOf := make(map[int]int, len(redBin)) // reduced var -> index in redBin
+	for i, v := range redBin {
+		boxOf[v] = i
+	}
+
+	// applyNode rewrites the binary boxes for a node's fixings. Map
+	// iteration order is irrelevant: SetBounds calls on distinct variables
+	// commute, so any order produces the identical problem.
+	applyNode := func(nd *node) {
+		for i, v := range redBin {
+			work.SetBounds(v, baseLo[i], baseUp[i])
+		}
+		for v, val := range nd.fixed {
+			work.SetBounds(v, val, val)
+		}
+	}
 
 	q := &nodeQueue{}
 	heap.Init(q)
 	heap.Push(q, &node{fixed: map[int]float64{}, bound: math.Inf(-1)})
 
 	// The shared warm-start state: every node's relaxation re-enters from
-	// the previous node's final basis (a pure RHS change, so the dual
+	// the previous node's final basis (a pure bound change, so the dual
 	// simplex path applies; anything it cannot certify falls back cold and
 	// recaptures — lp.SolveFrom's safety contract).
 	var basis lp.Basis
 
 	var incumbent []float64
-	incumbentObj := math.Inf(1)
+	incumbentObj := math.Inf(1) // reduced-space objective
 	haveIncumbent := false
+
+	finish := func(status Status) (*Solution, error) {
+		sol.Status = status
+		if !haveIncumbent {
+			if status == NodeLimit {
+				return sol, ErrNoIncumbent
+			}
+			return sol, nil
+		}
+		full := ps.Postsolve(&lp.Solution{Status: lp.Optimal, Obj: incumbentObj, X: incumbent})
+		for _, v := range binaries {
+			full.X[v] = math.Round(full.X[v])
+		}
+		sol.Obj = full.Obj
+		sol.X = full.X
+		return sol, nil
+	}
 
 	for q.Len() > 0 {
 		if sol.Nodes >= opts.MaxNodes {
-			if haveIncumbent {
-				sol.Status = NodeLimit
-				sol.Obj = incumbentObj
-				sol.X = incumbent
-				return sol, nil
-			}
-			sol.Status = NodeLimit
-			return sol, ErrNoIncumbent
+			return finish(NodeLimit)
 		}
 		nd := heap.Pop(q).(*node)
 		// Bound pruning against the incumbent.
@@ -176,7 +226,7 @@ func Solve(p *lp.Problem, binaries []int, opts Options) (*Solution, error) {
 		sol.Nodes++
 
 		applyNode(nd)
-		res, err := root.SolveFrom(&basis)
+		res, err := work.SolveFrom(&basis)
 		if err != nil {
 			return sol, err
 		}
@@ -198,7 +248,7 @@ func Solve(p *lp.Problem, binaries []int, opts Options) (*Solution, error) {
 		}
 
 		branchVar, frac := -1, 0.0
-		for _, v := range binaries {
+		for _, v := range redBin {
 			f := res.X[v] - math.Floor(res.X[v])
 			if f > 0.5 {
 				f = 1 - f
@@ -214,7 +264,7 @@ func Solve(p *lp.Problem, binaries []int, opts Options) (*Solution, error) {
 			if res.Obj < incumbentObj-1e-9 {
 				incumbentObj = res.Obj
 				incumbent = append([]float64(nil), res.X...)
-				for _, v := range binaries {
+				for _, v := range redBin {
 					incumbent[v] = math.Round(incumbent[v])
 				}
 				haveIncumbent = true
@@ -225,7 +275,13 @@ func Solve(p *lp.Problem, binaries []int, opts Options) (*Solution, error) {
 			continue
 		}
 
+		bi := boxOf[branchVar]
 		for _, val := range [2]float64{rounded(res.X[branchVar]), 1 - rounded(res.X[branchVar])} {
+			// Respect the presolve-tightened base box: a fixing outside it
+			// can never be feasible, so the child is pruned at birth.
+			if val < baseLo[bi]-opts.IntTol || val > baseUp[bi]+opts.IntTol {
+				continue
+			}
 			child := &node{
 				fixed: make(map[int]float64, len(nd.fixed)+1),
 				bound: res.Obj,
@@ -240,10 +296,7 @@ func Solve(p *lp.Problem, binaries []int, opts Options) (*Solution, error) {
 	}
 
 	if haveIncumbent {
-		sol.Status = Optimal
-		sol.Obj = incumbentObj
-		sol.X = incumbent
-		return sol, nil
+		return finish(Optimal)
 	}
 	sol.Status = Infeasible
 	return sol, nil

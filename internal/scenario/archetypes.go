@@ -173,6 +173,22 @@ func Archetypes() []Spec {
 				Shape: "trace", TraceMbps: RecordedDayMbps}},
 			Algorithm: "benders", ReofferPending: true,
 		},
+		{
+			Name: "metro",
+			Description: "metro-scale tier: a 1056-BS deployment of 44 strict-tree pods, each pod a 24-BS admission " +
+				"domain under a deep four-tier CU hierarchy (edge/agg/metro/core) — uRLLC contends for the undersized " +
+				"edge tiers while eMBB/mMTC sink down the chain (run all pods: `loadgen -scenario metro`)",
+			Topology: "Metro", NBS: topology.MetroPodBS,
+			Domains: topology.MetroPods,
+			Tenants: 4, Epochs: 16,
+			Arrivals: Arrivals{Kind: Batch},
+			Classes: []Class{
+				{Name: "lowlat", Type: "uRLLC", Weight: 2, Alpha: 0.4, SigmaFrac: 0.2, Penalty: 8},
+				{Name: "broadband", Type: "eMBB", Weight: 1, Alpha: 0.3, SigmaFrac: 0.25, Penalty: 1},
+				{Name: "iot", Type: "mMTC", Weight: 1, Alpha: 0.2, Penalty: 4},
+			},
+			Algorithm: "benders", KPaths: 1, ReofferPending: true,
+		},
 	}
 }
 

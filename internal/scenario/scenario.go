@@ -93,8 +93,16 @@ type Spec struct {
 	Name        string
 	Description string
 
-	Topology string // "Romanian" | "Swiss" | "Italian" | "Testbed"
+	Topology string // "Romanian" | "Swiss" | "Italian" | "Testbed" | "Metro"
 	NBS      int    // operator-topology scale; 0 = full published size
+
+	// Domains is the deployment width the archetype describes: how many
+	// independent operator domains (each compiling its own NBS-sized
+	// network under a decorrelated seed) make up the full scenario. 0 or
+	// 1 means a single-domain scenario, as all the paper-scale archetypes
+	// are; the metro archetype declares its full pod count here, and
+	// multi-domain drivers (loadgen) default their domain fan-out to it.
+	Domains int
 
 	Tenants  int // base tenant count (flash-crowd spikes add to it)
 	Epochs   int
@@ -125,6 +133,8 @@ func BuildTopology(name string, nBS int) (*topology.Network, error) {
 		return topology.Italian(nBS), nil
 	case "Testbed":
 		return topology.Testbed(), nil
+	case "Metro":
+		return topology.Metro(nBS), nil
 	}
 	return nil, fmt.Errorf("scenario: unknown topology %q", name)
 }
@@ -233,6 +243,9 @@ func (s Spec) Validate() error {
 	}
 	if s.SamplesPerEpoch < 0 {
 		return fmt.Errorf("scenario %s: SamplesPerEpoch %d is negative", s.Name, s.SamplesPerEpoch)
+	}
+	if s.Domains < 0 {
+		return fmt.Errorf("scenario %s: Domains %d is negative", s.Name, s.Domains)
 	}
 	net, err := BuildTopology(s.Topology, s.NBS)
 	if err != nil {

@@ -266,6 +266,106 @@ func Italian(nBS int) *Network {
 	return b.finish()
 }
 
+// Metro-scale fabric sizing (the ROADMAP north-star, past the paper's
+// §4.3.1 operator snapshots): MetroBSCount base stations organized into
+// pods of MetroPodBS, each pod a strict aggregation tree under its own
+// gateway with a deep four-tier CU hierarchy (edge / aggregation / metro /
+// core) chained behind the gateway on fixed-delay transport hops. The tier
+// delays are chosen against the Table 1 budgets so placement splits
+// cleanly: uRLLC (Δ = 5 ms) reaches the edge and aggregation tiers only,
+// while eMBB and mMTC (Δ = 30 ms) reach all four (the core tier lands at a
+// cumulative 29 ms, just inside the budget like the paper's testbed hop).
+// The edge tier is deliberately undersized (metroEdgeFrac of the 20·N
+// rule), so low-latency demand contends for it and elastic demand is
+// pushed down the hierarchy — the deep-hierarchy analogue of the paper's
+// edge/core split.
+const (
+	MetroBSCount = 1056 // MetroPods pods of MetroPodBS BSs
+	MetroPodBS   = 24
+	MetroPods    = MetroBSCount / MetroPodBS
+
+	metroAggDelay   = 4e-3  // gateway → aggregation-tier CU
+	metroMetroDelay = 8e-3  // aggregation → metro-tier CU (cumulative 12 ms)
+	metroCoreDelay  = 17e-3 // metro → core-tier CU (cumulative 29 ms)
+	metroEdgeFrac   = 0.3   // edge-tier cores as a fraction of the 20·N rule
+)
+
+// Metro generates the metro-scale M1 fabric: nBS base stations in strict
+// tree pods (exactly one BS→CU path per tier, so solver cost stays linear
+// in pod size; there is no transport path diversity to multiply items),
+// pod gateways joined by a metro core ring, and a four-tier CU hierarchy
+// per pod. nBS == 0 selects the full MetroBSCount deployment; smaller
+// values build ceil(nBS/MetroPodBS) pods — the per-domain unit the metro
+// scenario archetype solves, with the full deployment assembled as
+// MetroPods independent admission domains (loadgen, BenchmarkMetroRound).
+func Metro(nBS int) *Network {
+	if nBS == 0 {
+		nBS = MetroBSCount
+	}
+	b := newBuilder("Metro (M1)", 404)
+	nPods := (nBS + MetroPodBS - 1) / MetroPodBS
+	gws := make([]int, nPods)
+	left := nBS
+	for p := 0; p < nPods; p++ {
+		podN := MetroPodBS
+		if podN > left {
+			podN = left
+		}
+		left -= podN
+		ang := 2 * math.Pi * float64(p) / float64(nPods)
+		gx, gy := 10*math.Cos(ang), 10*math.Sin(ang)
+		if nPods == 1 {
+			gx, gy = 0, 0
+		}
+		gw := b.node(SwitchNode, gx, gy)
+		gws[p] = gw
+
+		// Access hubs: strict tree, one fiber uplink each.
+		nHub := maxInt(4, podN/8)
+		hubs := make([]int, nHub)
+		for h := range hubs {
+			ha := 2 * math.Pi * float64(h) / float64(nHub)
+			hubs[h] = b.node(SwitchNode, gx+1.5*math.Cos(ha), gy+1.5*math.Sin(ha))
+			b.link(gw, hubs[h], gbps(40+b.rng.Float64()*60), Fiber)
+		}
+		// BSs: one uplink to their hub (fiber or copper), radius 2–4 km.
+		for i := 0; i < podN; i++ {
+			ba := 2 * math.Pi * float64(i) / float64(podN)
+			r := 2 + 2*b.rng.Float64()
+			bn := b.node(BSNode, gx+r*math.Cos(ba), gy+r*math.Sin(ba))
+			tech, cap1 := Copper, gbps(4+b.rng.Float64()*6)
+			if b.rng.Float64() < 0.6 {
+				tech, cap1 = Fiber, gbps(10+b.rng.Float64()*20)
+			}
+			b.link(bn, hubs[i*nHub/podN], cap1, tech)
+			b.bs(bn, DefaultCarrierMHz)
+		}
+
+		// The four-tier CU chain behind the gateway. Only the first tier is
+		// an edge CU; each deeper tier hangs behind a fixed-delay transport
+		// hop and is sized progressively larger (the core tier follows the
+		// paper's 5x rule).
+		podCores := EdgeCoresPerBS * float64(podN)
+		b.net.CUs = append(b.net.CUs, CU{Node: gw, CPUCores: metroEdgeFrac * podCores, Edge: true})
+		aggN := b.node(CUNode, gx+0.5, gy+0.5)
+		b.fixedDelayLink(gw, aggN, unlimitedMbps, metroAggDelay)
+		b.net.CUs = append(b.net.CUs, CU{Node: aggN, CPUCores: podCores})
+		metroN := b.node(CUNode, gx+1.0, gy+1.0)
+		b.fixedDelayLink(aggN, metroN, unlimitedMbps, metroMetroDelay)
+		b.net.CUs = append(b.net.CUs, CU{Node: metroN, CPUCores: 2 * podCores})
+		coreN := b.node(CUNode, gx+1.5, gy+1.5)
+		b.fixedDelayLink(metroN, coreN, unlimitedMbps, metroCoreDelay)
+		b.net.CUs = append(b.net.CUs, CU{Node: coreN, CPUCores: CoreCUFactor * podCores})
+	}
+	// Metro core ring joining the pod gateways.
+	if nPods > 1 {
+		for p := 0; p < nPods; p++ {
+			b.link(gws[p], gws[(p+1)%nPods], gbps(200+b.rng.Float64()*200), Fiber)
+		}
+	}
+	return b.finish()
+}
+
 // Testbed builds the experimental proof-of-concept data plane of §5
 // (Fig. 7 and Table 2): two 20 MHz BSs (100 PRBs each), one OpenFlow
 // switch with 1 Gb/s Ethernet links, a 16-core edge CU and a 64-core core

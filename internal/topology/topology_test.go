@@ -317,3 +317,57 @@ func TestTechString(t *testing.T) {
 		t.Error("unknown tech must print")
 	}
 }
+
+// TestMetroFabric pins the metro-scale generator's structure: the full
+// deployment crosses 1000 BSs, every pod carries the four-tier CU chain,
+// and a single pod is a strict tree whose tier delays split the Table 1
+// budgets (uRLLC reaches exactly the edge and aggregation tiers, eMBB and
+// mMTC all four).
+func TestMetroFabric(t *testing.T) {
+	full := Metro(0)
+	if got := full.NumBS(); got != MetroBSCount || got < 1000 {
+		t.Fatalf("full metro fabric has %d BSs, want %d (>= 1000)", got, MetroBSCount)
+	}
+	if got, want := full.NumCU(), 4*MetroPods; got != want {
+		t.Fatalf("full metro fabric has %d CUs, want %d (four tiers x %d pods)", got, want, MetroPods)
+	}
+
+	pod := Metro(MetroPodBS)
+	if pod.NumBS() != MetroPodBS || pod.NumCU() != 4 {
+		t.Fatalf("pod has %d BSs / %d CUs, want %d / 4", pod.NumBS(), pod.NumCU(), MetroPodBS)
+	}
+	paths := pod.Paths(4)
+	const urllcBound, embbBound = 5e-3, 30e-3
+	for b := 0; b < pod.NumBS(); b++ {
+		urllcCUs, embbCUs := 0, 0
+		for c := 0; c < pod.NumCU(); c++ {
+			if n := len(paths[b][c]); n != 1 {
+				t.Fatalf("BS %d CU %d has %d paths, want exactly 1 (strict tree)", b, c, n)
+			}
+			d := paths[b][c][0].Delay
+			if d <= urllcBound {
+				urllcCUs++
+			}
+			if d <= embbBound {
+				embbCUs++
+			}
+		}
+		if urllcCUs != 2 {
+			t.Errorf("BS %d reaches %d CUs within the uRLLC budget, want 2 (edge+agg)", b, urllcCUs)
+		}
+		if embbCUs != 4 {
+			t.Errorf("BS %d reaches %d CUs within the eMBB budget, want all 4 tiers", b, embbCUs)
+		}
+	}
+	// Tier sizing: edge deliberately undersized, core on the 5x rule.
+	podCores := EdgeCoresPerBS * float64(MetroPodBS)
+	if got := pod.CUs[0].CPUCores; got >= podCores {
+		t.Errorf("edge tier has %v cores, want < the 20·N rule (%v)", got, podCores)
+	}
+	if got, want := pod.CUs[3].CPUCores, CoreCUFactor*podCores; got != want {
+		t.Errorf("core tier has %v cores, want %v", got, want)
+	}
+	if !pod.CUs[0].Edge || pod.CUs[1].Edge || pod.CUs[2].Edge || pod.CUs[3].Edge {
+		t.Error("exactly the first tier must be marked Edge")
+	}
+}

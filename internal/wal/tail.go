@@ -45,9 +45,11 @@ type Tailer struct {
 }
 
 // ErrTailGap reports that the standby fell behind compaction: the record
-// it needs next was in a segment the leader has already removed. The only
-// recovery is to restart the standby so it bootstraps from a newer
-// snapshot.
+// it needs next was in a segment the leader has already removed. Recovery
+// is to re-bootstrap from a newer snapshot — the newest snapshot always
+// covers everything compaction removed. ctrlplane.Standby heals this
+// automatically by rebuilding its replica from that snapshot; a bare
+// Tailer consumer must restart likewise.
 var ErrTailGap = errors.New("wal: tail gap: next record was compacted away (standby fell too far behind)")
 
 // OpenTailer opens a read-only tail over dir. The directory may be empty

@@ -97,8 +97,14 @@ wait "$LEADER" 2>/dev/null || true
 # The lease lapses, the standby takes it, finishes replay and serves.
 wait_http 18494
 wait_log /tmp/failover-check-standby.err 'msg="took leadership"' "standby never took leadership"
+# The standby's state must come from the leader's log: either it tailed
+# all 3 pre-kill rounds live, or the leader's snapshot+compaction outran
+# the poll loop and the replica re-bootstrapped from the snapshot (which
+# itself encodes those rounds) — the byte-identical diffs below hold
+# either way. Silent partial replay is the failure this guards against.
 grep -q 'replayed-rounds=3' /tmp/failover-check-standby.err \
-  || { echo "failover-check: standby did not replay all 3 pre-kill rounds:"; \
+  || grep -Eq 'snapshot-rebootstraps=[1-9]' /tmp/failover-check-standby.err \
+  || { echo "failover-check: standby neither replayed all 3 pre-kill rounds nor re-bootstrapped from a snapshot:"; \
        grep 'took leadership' /tmp/failover-check-standby.err; exit 1; }
 epochs 18494 3
 curl -fsS 127.0.0.1:18494/yield  > /tmp/failover-check-yield-failover.json
